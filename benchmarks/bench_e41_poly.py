@@ -1,0 +1,57 @@
+"""E41-POLY — Section 4.1, general degree d.
+
+For ``p_{d,L}(t) = 1 - t^d/L^d``, d = 1..6:
+
+* the explicit bracket ``(c/d)^{1/(d+1)} L^{d/(d+1)} <= t_0 <=
+  2 (c/d)^{1/(d+1)} L^{d/(d+1)} + 1`` (eqs. 4.2/4.3 simplified) contains the
+  numerically optimal ``t_0``;
+* the guideline schedule's expected work is within a fraction of a percent of
+  the NLP ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis.tables import print_table
+
+L, C = 300.0, 2.0
+
+
+def _row(d: int) -> list:
+    p = repro.PolynomialRisk(d, L)
+    bracket = repro.polynomial_bracket(d, L, C)
+    guided = repro.guideline_schedule(p, C)
+    optimal = repro.optimize_schedule(p, C)
+    return [
+        d,
+        bracket.lo,
+        optimal.t0,
+        bracket.hi,
+        bracket.contains(optimal.t0, rtol=1e-6),
+        guided.schedule.num_periods,
+        optimal.num_periods,
+        guided.expected_work,
+        optimal.expected_work,
+        guided.expected_work / optimal.expected_work,
+    ]
+
+
+def test_e41_poly_table(benchmark):
+    rows = [_row(d) for d in range(1, 7)]
+    print_table(
+        ["d", "t0_lo", "t0*", "t0_hi", "in bracket", "m_guide", "m_opt",
+         "E_guideline", "E_optimal", "ratio"],
+        rows,
+        title=f"E41-POLY: p_d,L (L={L}, c={C}) — bracket and efficiency per degree",
+    )
+    for row in rows:
+        assert row[4]            # optimal t0 inside the closed-form bracket
+        assert row[9] > 0.995    # guideline within 0.5% of optimal
+
+    # Expected work grows with d: risk arrives later, so more is achievable.
+    works = [row[8] for row in rows]
+    assert all(b > a for a, b in zip(works, works[1:]))
+
+    benchmark(lambda: repro.guideline_schedule(repro.PolynomialRisk(3, L), C))

@@ -1,0 +1,70 @@
+"""E41-UNIFORM — Section 4.1, d = 1 (uniform risk).
+
+Reproduces the Section 4.1 comparison for ``p(t) = 1 - t/L``:
+
+* eq. (4.1): the guideline recurrence collapses to ``t_k = t_{k-1} - c``,
+  identical to [3]'s optimal recurrence;
+* eq. (4.4) vs (4.5): the bracket ``sqrt(cL) <= t_0 <= 2 sqrt(cL) + 1``
+  contains the true ``t_0 ≈ sqrt(2cL)``;
+* guideline-with-t0-search achieves the optimal expected work exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.tables import print_table
+
+SWEEP = [(100.0, 1.0), (400.0, 1.0), (400.0, 4.0), (1600.0, 4.0), (10000.0, 2.0)]
+
+
+def _row(L: float, c: float) -> list:
+    p = repro.UniformRisk(L)
+    bracket = repro.uniform_bracket(L, c)
+    exact = repro.uniform_optimal_schedule(L, c)
+    guided = repro.guideline_schedule(p, c)
+    return [
+        L,
+        c,
+        bracket.lo,
+        math.sqrt(2 * c * L),
+        exact.t0,
+        bracket.hi,
+        exact.num_periods,
+        guided.expected_work,
+        exact.expected_work,
+        guided.expected_work / exact.expected_work,
+    ]
+
+
+def test_e41_uniform_table(benchmark):
+    rows = [_row(L, c) for L, c in SWEEP]
+    print_table(
+        [
+            "L", "c", "lo=sqrt(cL)", "sqrt(2cL)", "t0*", "hi=2sqrt(cL)+1",
+            "m*", "E_guideline", "E_optimal", "ratio",
+        ],
+        rows,
+        title="E41-UNIFORM: eq.(4.4) bracket vs eq.(4.5) optimum; guideline vs optimal E",
+    )
+    for row in rows:
+        lo, sqrt2cl, t0_star, hi, ratio = row[2], row[3], row[4], row[5], row[9]
+        assert lo <= t0_star <= hi            # (4.4) brackets the optimum
+        assert lo <= sqrt2cl <= hi            # and its asymptotic form
+        assert ratio == pytest.approx(1.0, abs=1e-6)  # guideline = optimal
+
+    benchmark(lambda: repro.guideline_schedule(repro.UniformRisk(400.0), 2.0))
+
+
+def test_e41_decrement_identity(benchmark):
+    """Eq. (4.1): generated periods decrease by exactly c."""
+    p = repro.UniformRisk(1000.0)
+    c = 3.0
+    out = repro.generate_schedule(p, c, 60.0)
+    decs = -np.diff(out.schedule.periods)
+    assert np.allclose(decs, c)
+    benchmark(lambda: repro.generate_schedule(p, c, 60.0))

@@ -1,0 +1,74 @@
+"""E42-GEOMDEC — Section 4.2: the geometrically decreasing lifespan.
+
+For ``p_a(t) = a^{-t}``:
+
+* the bracket ``sqrt(c²/4 + c/ln a) + c/2 <= t_0 <= c + 1/ln a`` contains the
+  transcendental optimum ``t_0 + a^{-t_0}/ln a = c + 1/ln a``, and the upper
+  bound is close ("Note how close our guidelines' upper bound is to the
+  optimal value");
+* the guideline pipeline (recurrence + t_0 search) recovers [3]'s equal-period
+  optimum and its closed-form expected work.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro.analysis.tables import print_table
+
+SWEEP = [(1.1, 0.5), (1.1, 1.0), (1.5, 0.5), (1.5, 1.0), (2.0, 0.5), (2.0, 1.0)]
+
+
+def _row(a: float, c: float) -> list:
+    p = repro.GeometricDecreasingLifespan(a)
+    bracket = repro.geometric_decreasing_bracket(a, c)
+    t_star = repro.geometric_decreasing_optimal_period(a, c)
+    e_star = repro.geometric_decreasing_optimal_work(a, c)
+    guided = repro.guideline_schedule(p, c)
+    return [
+        a,
+        c,
+        bracket.lo,
+        t_star,
+        bracket.hi,
+        (bracket.hi - t_star) / t_star,
+        guided.t0,
+        guided.expected_work,
+        e_star,
+        guided.expected_work / e_star,
+    ]
+
+
+def test_e42_geomdec_table(benchmark):
+    rows = [_row(a, c) for a, c in SWEEP]
+    print_table(
+        ["a", "c", "t0_lo", "t0*", "t0_hi", "hi gap", "t0_guide",
+         "E_guideline", "E_opt(closed)", "ratio"],
+        rows,
+        title="E42-GEOMDEC: bracket vs transcendental optimum; guideline vs closed-form E",
+    )
+    for row in rows:
+        a, c, lo, t_star, hi, gap, t0_g, _, _, ratio = row
+        assert lo <= t_star * (1 + 1e-9) and t_star <= hi * (1 + 1e-9)
+        assert ratio == pytest.approx(1.0, abs=2e-3)
+        assert t0_g == pytest.approx(t_star, rel=1e-3)
+    # Upper-bound tightness improves with c·ln a.
+    gaps = {(a, c): row[5] for (a, c), row in zip(SWEEP, rows)}
+    assert gaps[(2.0, 1.0)] < gaps[(1.1, 0.5)]
+
+    benchmark(
+        lambda: repro.guideline_schedule(repro.GeometricDecreasingLifespan(1.5), 1.0)
+    )
+
+
+def test_e42_equal_period_structure(benchmark):
+    """[3]: all optimal periods equal; conditional risk is time-invariant."""
+    a, c = 1.4, 0.8
+    res = repro.geometric_decreasing_optimal_schedule(a, c)
+    import numpy as np
+
+    assert np.allclose(res.schedule.periods, res.t0, rtol=1e-9)
+    benchmark(lambda: repro.geometric_decreasing_optimal_schedule(a, c))

@@ -1,0 +1,78 @@
+"""E43-GEOMINC — Section 4.3: the geometrically increasing risk (coffee break).
+
+For ``p(t) = (2^L - 2^t)/(2^L - 1)``:
+
+* the guideline recurrence ``t_{k+1} = log2((t_k - c) ln 2 + 1)`` (eq. 4.7)
+  vs [3]'s ``t_{k+1} = log2(t_k - c + 2)`` — different recurrences, nearly
+  identical expected work once t_0 is optimized in each family;
+* the optimal ``t_0`` sits at ``L - Θ(log L)`` (the paper's
+  ``2^{t_0/2} t_0² <= 2^L <= 2^{t_0} t_0²`` window).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro.analysis.tables import print_table
+
+SWEEP = [(16.0, 0.5), (32.0, 0.5), (32.0, 1.0), (64.0, 1.0), (128.0, 1.0)]
+
+
+def _row(L: float, c: float) -> list:
+    p = repro.GeometricIncreasingRisk(L)
+    guided = repro.guideline_schedule(p, c)
+    bclr = repro.geometric_increasing_optimal_schedule(L, c)
+    nlp = repro.optimize_schedule(p, c)
+    window = repro.geometric_increasing_window(L, c)
+    return [
+        L,
+        c,
+        window.lo,
+        nlp.t0,
+        window.hi,
+        guided.t0,
+        bclr.t0,
+        guided.expected_work,
+        bclr.expected_work,
+        nlp.expected_work,
+        guided.expected_work / nlp.expected_work,
+    ]
+
+
+def test_e43_geominc_table(benchmark):
+    rows = [_row(L, c) for L, c in SWEEP]
+    print_table(
+        ["L", "c", "win_lo", "t0_nlp", "win_hi", "t0_guide", "t0_bclr",
+         "E_guideline", "E_bclr", "E_nlp", "ratio"],
+        rows,
+        title="E43-GEOMINC: eq.(4.7) vs [3] recurrence vs NLP; t0 = L - Θ(log L)",
+    )
+    for row in rows:
+        L, c = row[0], row[1]
+        t0_nlp, ratio = row[3], row[10]
+        # t0* = L - Θ(log L): within a small constant factor of the window.
+        assert L - 5 * math.log2(L) < t0_nlp < L
+        assert ratio > 0.99
+        # Guideline and BCLR families agree closely.
+        assert row[7] == pytest.approx(row[8], rel=0.02)
+
+    benchmark(
+        lambda: repro.guideline_schedule(repro.GeometricIncreasingRisk(32.0), 1.0)
+    )
+
+
+def test_e43_recurrences_differ_but_converge(benchmark):
+    """The two recurrences produce different period sequences from the same
+    t0, yet their optimized expected work nearly coincides."""
+    import numpy as np
+
+    c = 1.0
+    t0 = 20.0
+    guideline_next = repro.next_period(repro.GeometricIncreasingRisk(30.0), c, t0, t0)
+    bclr_next = math.log2(t0 - c + 2.0)
+    assert guideline_next != pytest.approx(bclr_next, rel=1e-3)
+
+    benchmark(lambda: repro.geometric_increasing_optimal_schedule(32.0, 1.0))

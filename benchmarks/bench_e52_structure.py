@@ -1,0 +1,79 @@
+"""E52-STRUCT — Theorem 5.2 and Corollaries 5.1-5.3.
+
+On numerically-optimal schedules:
+
+* concave p: period decrements >= c (strict decrease, Corollary 5.1);
+* convex p: decrements <= c;
+* uniform risk attains equality (tightness);
+* period counts respect Corollary 5.3's ceiling, with the uniform optimum
+  sitting at (or within one of) the floor version.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.tables import print_table
+from repro.core.structure import verify_structure
+
+
+def test_e52_structure_table(benchmark):
+    cases = [
+        ("uniform L=200", repro.UniformRisk(200.0), 2.0),
+        ("uniform L=1000", repro.UniformRisk(1000.0), 2.0),
+        ("poly d=2 L=200", repro.PolynomialRisk(2, 200.0), 2.0),
+        ("poly d=4 L=200", repro.PolynomialRisk(4, 200.0), 2.0),
+        ("geominc L=30", repro.GeometricIncreasingRisk(30.0), 1.0),
+        ("geomdec a=1.3", repro.GeometricDecreasingLifespan(1.3), 1.0),
+    ]
+    rows = []
+    for name, p, c in cases:
+        opt = repro.optimize_schedule(p, c)
+        lifespan = p.lifespan if math.isfinite(p.lifespan) else float("nan")
+        report = verify_structure(
+            opt.schedule,
+            c,
+            lifespan=p.lifespan if math.isfinite(p.lifespan) else math.inf,
+            tol=1e-4,  # NLP output satisfies the laws to solver precision
+        )
+        floor_bound = (
+            int(math.floor(math.sqrt(2 * p.lifespan / c + 0.25) + 0.5))
+            if math.isfinite(p.lifespan)
+            else -1
+        )
+        rows.append([
+            name,
+            opt.num_periods,
+            floor_bound,
+            report.cor53_bound if math.isfinite(p.lifespan) else -1,
+            report.min_decrement,
+            report.max_decrement,
+            report.concave_law_holds,
+            report.convex_law_holds,
+        ])
+    print_table(
+        ["case", "m*", "floor(5.8)", "ceil(5.8)", "min dec", "max dec",
+         "dec>=c", "dec<=c"],
+        rows,
+        title="E52-STRUCT: Theorem 5.2 decrement laws + Corollary 5.3 period counts",
+    )
+    by_name = {r[0]: r for r in rows}
+    # Concave families obey the >= c law.
+    for name in ("uniform L=200", "uniform L=1000", "poly d=2 L=200",
+                 "poly d=4 L=200", "geominc L=30"):
+        assert by_name[name][6], name
+    # Convex family obeys <= c.
+    assert by_name["geomdec a=1.3"][7]
+    # Uniform attains both (equality): tightness of Theorem 5.2.
+    assert by_name["uniform L=200"][6] and by_name["uniform L=200"][7]
+    # Corollary 5.3: strict ceiling respected; optimum within one of floor.
+    for name in ("uniform L=200", "uniform L=1000"):
+        m, floor_b, ceil_b = by_name[name][1], by_name[name][2], by_name[name][3]
+        assert m < ceil_b
+        assert abs(m - floor_b) <= 1
+
+    benchmark(lambda: repro.optimize_schedule(repro.UniformRisk(200.0), 2.0))

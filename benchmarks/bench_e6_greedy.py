@@ -1,0 +1,93 @@
+"""E6-GREEDY — Section 6: how good are greedy schedules?
+
+The paper claims greedy is optimal for the geometric-decreasing scenario and
+suboptimal for uniform risk.  Measured with the literal myopic greedy
+(``t_k = argmax (t-c) p(T_{k-1}+t)``):
+
+* uniform risk: greedy achieves ~75% of optimal — confirming "it does not";
+* geometric decreasing: greedy picks the equal period ``c + 1/ln a`` — the
+  *single-period* payoff maximizer — which differs from [3]'s optimal period
+  (the steady-state *rate* maximizer) and achieves ~85-90% of optimal.
+
+DEVIATION: the paper's "greedy yields the optimal schedule for the
+geometrically decreasing lifespan scenario" does not hold for the myopic
+recipe as printed; see EXPERIMENTS.md for the analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.tables import print_table
+from repro.core.greedy import greedy_schedule
+
+
+def test_e6_greedy_table(benchmark):
+    cases = [
+        ("uniform L=100", repro.UniformRisk(100.0), 2.0),
+        ("uniform L=400", repro.UniformRisk(400.0), 2.0),
+        ("poly d=3 L=100", repro.PolynomialRisk(3, 100.0), 1.0),
+        ("geominc L=30", repro.GeometricIncreasingRisk(30.0), 1.0),
+        ("geomdec a=1.3", repro.GeometricDecreasingLifespan(1.3), 0.8),
+        ("geomdec a=2.0", repro.GeometricDecreasingLifespan(2.0), 0.5),
+    ]
+    rows = []
+    for name, p, c in cases:
+        greedy = greedy_schedule(p, c)
+        e_greedy = greedy.expected_work(p, c)
+        opt = repro.optimize_schedule(p, c)
+        e_opt = max(opt.expected_work, e_greedy)
+        guided = repro.guideline_schedule(p, c)
+        rows.append([
+            name,
+            greedy.num_periods,
+            float(greedy.periods[0]),
+            e_greedy,
+            guided.expected_work,
+            e_opt,
+            e_greedy / e_opt,
+            guided.expected_work / e_opt,
+        ])
+    print_table(
+        ["case", "m_greedy", "t0_greedy", "E_greedy", "E_guideline", "E_opt",
+         "greedy ratio", "guideline ratio"],
+        rows,
+        title="E6-GREEDY: myopic greedy vs guideline vs optimal",
+    )
+    by_name = {r[0]: r for r in rows}
+    # Uniform: greedy strictly suboptimal (paper: "it does not").
+    assert by_name["uniform L=400"][6] < 0.8
+    # Geomdec: myopic greedy also measurably suboptimal (paper deviation).
+    assert 0.75 < by_name["geomdec a=1.3"][6] < 0.99
+    # Guideline dominates greedy everywhere.
+    for row in rows:
+        assert row[7] >= row[6] - 1e-9
+
+    benchmark(lambda: greedy_schedule(repro.UniformRisk(100.0), 2.0))
+
+
+def test_e6_geomdec_greedy_analysis(benchmark):
+    """Pin the two candidate periods: myopic = c + 1/ln a; optimal t* solves
+    a^{-t} + t ln a = 1 + c ln a."""
+    a, c = 1.3, 0.8
+    p = repro.GeometricDecreasingLifespan(a)
+    greedy = greedy_schedule(p, c)
+    myopic = c + 1.0 / math.log(a)
+    t_star = repro.geometric_decreasing_optimal_period(a, c)
+    rows = [[
+        a, c, myopic, float(greedy.periods[0]), t_star,
+        greedy.expected_work(p, c), repro.geometric_decreasing_optimal_work(a, c),
+    ]]
+    print_table(
+        ["a", "c", "myopic c+1/ln a", "greedy t0", "optimal t*", "E_greedy", "E_opt"],
+        rows,
+        title="E6-GREEDY: geomdec — myopic period vs rate-optimal period",
+    )
+    assert float(greedy.periods[0]) == pytest.approx(myopic, rel=1e-5)
+    assert myopic > t_star * 1.2  # clearly different
+
+    benchmark(lambda: greedy_schedule(p, c, max_periods=50))

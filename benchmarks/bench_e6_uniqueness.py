@@ -1,0 +1,57 @@
+"""E6-UNIQ — Section 6's open question: are optimal schedules unique?
+
+Theorem 3.1 reduces the question to the 1-D map ``t_0 -> E(S(t_0); p)``
+(distinct optima must differ in ``t_0``, and the recurrence propagates the
+rest).  The bench scans that landscape:
+
+* every Section 4 family: a single peak — consistent with the paper's
+  "each of the life functions studied in [3] admits a unique optimal
+  schedule";
+* a coffee-break/meeting *mixture*: genuinely multimodal (several local
+  maxima), showing why the open question resists — though even there the
+  global maximum is numerically unique.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis.tables import print_table
+from repro.core.uniqueness import (
+    count_expected_work_peaks,
+    is_unique_optimum_numerically,
+    scan_t0_landscape,
+)
+
+
+def test_e6_uniqueness_table(benchmark):
+    mixture = repro.MixtureLife(
+        [repro.GeometricIncreasingRisk(12.0), repro.UniformRisk(120.0)], [0.7, 0.3]
+    )
+    cases = [
+        ("uniform L=100", repro.UniformRisk(100.0), 2.0),
+        ("poly d=3 L=100", repro.PolynomialRisk(3, 100.0), 1.0),
+        ("geomdec a=1.3", repro.GeometricDecreasingLifespan(1.3), 0.5),
+        ("geominc L=25", repro.GeometricIncreasingRisk(25.0), 1.0),
+        ("coffee/meeting mixture", mixture, 0.5),
+    ]
+    rows = []
+    for name, p, c in cases:
+        peaks = count_expected_work_peaks(p, c, n_points=513)
+        unique = is_unique_optimum_numerically(p, c, n_points=513)
+        landscape = scan_t0_landscape(p, c, n_points=513)
+        rows.append([name, peaks, unique, landscape.argmax, landscape.max])
+    print_table(
+        ["family", "local maxima of E(t0)", "global max unique", "argmax t0", "max E"],
+        rows,
+        title="E6-UNIQ: the t0 landscape (Theorem 3.1 reduces uniqueness to 1-D)",
+    )
+    by_name = {r[0]: r for r in rows}
+    for name in ("uniform L=100", "poly d=3 L=100", "geomdec a=1.3", "geominc L=25"):
+        assert by_name[name][1] == 1, name
+        assert by_name[name][2], name
+    assert by_name["coffee/meeting mixture"][1] >= 2
+
+    benchmark(lambda: count_expected_work_peaks(repro.UniformRisk(100.0), 2.0,
+                                                n_points=129))

@@ -1,0 +1,53 @@
+"""ER-RISK — extension: the banked-work distribution and risk-averse schedules.
+
+Between the paper's expectation objective and its sequel's worst case sit the
+distributional trade-offs: a mean-optimal schedule concentrates a lot of mass
+on "owner came back before the first big period ended, banked nothing".
+The bench reports the exact distribution's spread and quantiles for the
+mean-optimal schedule, then shows what increasing risk aversion
+(max ``E - λ·Std``) buys: lower variance and fatter lower quantiles at a
+small mean cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis.tables import print_table
+from repro.core.distribution import optimize_risk_averse, work_distribution
+
+
+def test_er_risk_table(benchmark):
+    p = repro.UniformRisk(300.0)
+    c = 2.0
+    lambdas = [0.0, 0.5, 1.0, 2.0, 4.0]
+    rows = []
+    for lam in lambdas:
+        schedule, dist = optimize_risk_averse(p, c, risk_aversion=lam, grid=201)
+        rows.append([
+            lam,
+            float(schedule.periods[0]),
+            schedule.num_periods,
+            dist.mean,
+            dist.std,
+            dist.quantile(0.1),
+            dist.quantile(0.25),
+            dist.cvar_lower(0.25),
+        ])
+    print_table(
+        ["lambda", "t0", "m", "mean", "std", "q10", "q25", "CVaR25"],
+        rows,
+        title="ER-RISK: risk-averse t0 choice (max E - lambda*Std), uniform L=300 c=2",
+    )
+    means = [r[3] for r in rows]
+    stds = [r[4] for r in rows]
+    # Monotone trade-off along the risk-aversion path.
+    assert all(b <= a + 1e-9 for a, b in zip(means, means[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(stds, stds[1:]))
+    # The trade is worthwhile by its own objective at every lambda.
+    for lam, row in zip(lambdas, rows):
+        assert row[3] - lam * row[4] >= rows[0][3] - lam * rows[0][4] - 1e-9
+
+    benchmark(lambda: work_distribution(
+        repro.guideline_schedule(p, c, grid=17).schedule, p, c))

@@ -1,0 +1,61 @@
+"""EV-EFF — the headline claim: guideline schedules are nearly optimal.
+
+Sweeps every Section 4 family over overheads and horizon scales, reporting
+E(guideline)/E(optimal) and whether the numerically-optimal t_0 falls in the
+Theorem 3.2/3.3 bracket.  The paper promises "nearly optimal" with a
+"factor-of-2" t_0 bracket; measured: ratios ≥ 0.99 across the sweep and the
+bracket contains the optimum everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis.efficiency import efficiency_report
+from repro.analysis.tables import print_table
+
+
+def _cases():
+    for L in (50.0, 200.0, 800.0):
+        for c in (0.5, 2.0, 8.0):
+            if c * 10 < L:
+                yield (f"uniform L={L:g} c={c:g}", repro.UniformRisk(L), c)
+    for d in (2, 4):
+        yield (f"poly d={d} L=200 c=2", repro.PolynomialRisk(d, 200.0), 2.0)
+    for a in (1.1, 1.5):
+        for c in (0.5, 1.0):
+            yield (f"geomdec a={a} c={c}", repro.GeometricDecreasingLifespan(a), c)
+    for L in (20.0, 60.0):
+        yield (f"geominc L={L:g} c=1", repro.GeometricIncreasingRisk(L), 1.0)
+
+
+def test_ev_efficiency_sweep(benchmark):
+    rows = []
+    for name, p, c in _cases():
+        report = efficiency_report(p, c)
+        rows.append([
+            name,
+            report.guideline.t0,
+            report.optimal.t0,
+            report.t0_in_bracket,
+            report.bracket_ratio,
+            report.guideline.expected_work,
+            report.optimal.expected_work,
+            report.ratio,
+        ])
+    print_table(
+        ["case", "t0_guide", "t0_opt", "t0* in bracket", "bracket hi/lo",
+         "E_guideline", "E_optimal", "ratio"],
+        rows,
+        title="EV-EFF: guideline vs ground-truth optimal across the Section 4 families",
+    )
+    worst = min(row[7] for row in rows)
+    in_bracket = sum(1 for row in rows if row[3])
+    print(f"\nworst ratio: {worst:.5f}; optimal t0 in bracket: {in_bracket}/{len(rows)}")
+    assert worst > 0.99
+    assert in_bracket == len(rows)
+    # The paper's factor-of-2-ish bracket (allow slack for the +c/2 terms).
+    assert max(row[4] for row in rows) < 4.0
+
+    benchmark(lambda: efficiency_report(repro.UniformRisk(200.0), 2.0).ratio)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule one cycle-stealing episode with the paper's guidelines.
+
+Scenario: workstation B's owner is out for (at most) 8 hours = 480 minutes,
+equally likely to return at any moment (the *uniform risk* scenario).  Each
+work bundle we ship costs c = 3 minutes of communication setup, and whatever
+is running when the owner returns is killed.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    lifespan_min = 480.0  # the owner is back within 8 hours
+    c = 3.0               # minutes of send+return overhead per bundle
+
+    p = repro.UniformRisk(lifespan_min)
+
+    # --- Step 1: bracket the optimal initial period (Theorems 3.2/3.3).
+    bracket = repro.t0_bracket(p, c)
+    print(f"t0 bracket: [{bracket.lo:.1f}, {bracket.hi:.1f}] minutes "
+          f"(ratio {bracket.ratio:.2f} — the paper's factor-of-2 promise)")
+
+    # --- Step 2+3: pick t0 in the bracket and roll out the Corollary 3.1
+    # recurrence.  guideline_schedule() does both.
+    result = repro.guideline_schedule(p, c)
+    schedule = result.schedule
+    print(f"\nguideline schedule: {schedule.num_periods} periods, "
+          f"t0 = {result.t0:.1f} min")
+    print("periods (min):", np.round(schedule.periods, 1).tolist())
+    print(f"expected work: {result.expected_work:.1f} task-minutes "
+          f"out of {lifespan_min:.0f} available")
+
+    # --- Sanity: for uniform risk the guideline recurrence IS the optimal
+    # one from Bhatt-Chung-Leighton-Rosenberg [3]; compare.
+    exact = repro.uniform_optimal_schedule(lifespan_min, c)
+    print(f"\nexact optimum ([3]): m = {exact.num_periods}, "
+          f"t0 = {exact.t0:.1f} ≈ sqrt(2cL) = "
+          f"{repro.uniform_t0_asymptotic(lifespan_min, c):.1f}")
+    print(f"E(guideline)/E(optimal) = "
+          f"{result.expected_work / exact.expected_work:.6f}")
+
+    # --- Validate the model: simulate 100,000 draconian episodes.
+    from repro.simulation import estimate_expected_work
+
+    est = estimate_expected_work(schedule, p, c, n=100_000,
+                                 rng=np.random.default_rng(0))
+    lo, hi = est.ci95
+    print(f"\nMonte-Carlo check: {est.mean:.1f} task-minutes "
+          f"(95% CI [{lo:.1f}, {hi:.1f}]) vs analytic {result.expected_work:.1f}")
+
+    # --- What would naive chunking have earned?
+    from repro.baselines import fixed_chunk_schedule
+
+    for chunk in (10.0, 60.0, 240.0):
+        e = fixed_chunk_schedule(p, c, chunk).expected_work(p, c)
+        print(f"fixed {chunk:5.0f}-minute chunks: {e:6.1f} task-minutes "
+              f"({e / result.expected_work:.0%} of guideline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — reproduction of Rosenberg (1998), *Guidelines for Data-Parallel
+Cycle-Stealing in Networks of Workstations, I* (UMass CMPSCI TR 98-15 /
+IPPS'98).
+
+The library implements the paper's scheduling guidelines for the draconian
+cycle-stealing model — where reclaimed workstations kill all work in progress
+— together with every substrate needed to evaluate them: the analytic life
+functions, exact optima from [3], a numeric ground-truth optimizer, a
+Monte-Carlo episode simulator, a discrete-event network-of-workstations
+substrate with trace-driven owner models, and baseline chunking policies.
+
+Quickstart
+----------
+>>> import repro
+>>> p = repro.UniformRisk(lifespan=1000.0)     # risk uniform over 1000 time units
+>>> result = repro.guideline_schedule(p, c=4.0)
+>>> result.schedule.num_periods > 1             # a finite, decreasing schedule
+True
+
+See ``examples/quickstart.py`` and the README for more.
+"""
+
+from .core import *  # noqa: F401,F403 - curated re-export (see core.__all__)
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+__all__ = list(_core_all) + ["__version__"]

@@ -1,0 +1,26 @@
+"""Analysis helpers: efficiency ratios, sweeps, robustness, table formatting."""
+
+from .efficiency import EfficiencyReport, efficiency_report, work_ratio
+from .robustness import (
+    RobustnessPoint,
+    misestimation_ratio,
+    parameter_error_sweep,
+    sampling_error_sweep,
+)
+from .sweeps import SweepPoint, cartesian_sweep, run_sweep
+from .tables import format_table, print_table
+
+__all__ = [
+    "EfficiencyReport",
+    "efficiency_report",
+    "work_ratio",
+    "RobustnessPoint",
+    "misestimation_ratio",
+    "parameter_error_sweep",
+    "sampling_error_sweep",
+    "SweepPoint",
+    "cartesian_sweep",
+    "run_sweep",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,58 @@
+"""Efficiency metrics: how close do guideline schedules come to optimal?
+
+The paper's headline claim is that its guidelines are "nearly optimal" and
+that the ``t_0`` bracket leaves "a manageably narrow search space".  These
+helpers quantify both, against the numeric ground-truth optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.guidelines import GuidelineResult, guideline_schedule
+from ..core.life_functions import LifeFunction
+from ..core.optimizer import OptimizationResult, optimize_schedule
+
+__all__ = ["EfficiencyReport", "efficiency_report", "work_ratio"]
+
+
+def work_ratio(candidate_work: float, optimal_work: float) -> float:
+    """``E(candidate) / E(optimal)`` with a safe 0/0 convention (ratio 1)."""
+    if optimal_work <= 0:
+        return 1.0 if candidate_work <= 0 else float("inf")
+    return candidate_work / optimal_work
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """Guideline-vs-optimal comparison for one (p, c) instance."""
+
+    guideline: GuidelineResult
+    optimal: OptimizationResult
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of optimal expected work the guideline achieves."""
+        return work_ratio(self.guideline.expected_work, self.optimal.expected_work)
+
+    @property
+    def t0_in_bracket(self) -> bool:
+        """Whether the *numerically optimal* ``t_0`` falls in the paper's bracket."""
+        return self.guideline.bracket.contains(self.optimal.t0, rtol=1e-6, atol=1e-9)
+
+    @property
+    def bracket_ratio(self) -> float:
+        """Width of the ``t_0`` bracket as upper/lower (paper: ≈ factor 2)."""
+        return self.guideline.bracket.ratio
+
+
+def efficiency_report(
+    p: LifeFunction,
+    c: float,
+    t0_strategy: str = "optimize",
+    m_max: int | None = None,
+) -> EfficiencyReport:
+    """Run both the guideline pipeline and the ground-truth optimizer."""
+    guideline = guideline_schedule(p, c, t0_strategy=t0_strategy)
+    optimal = optimize_schedule(p, c, m_max=m_max)
+    return EfficiencyReport(guideline=guideline, optimal=optimal)

@@ -1,0 +1,120 @@
+"""Robustness of the guidelines to misestimated life functions.
+
+The paper: the results "extend easily to situations wherein this knowledge is
+approximate, garnered possibly from trace data."  This module quantifies
+that: schedule with a *wrong* life function ``p_hat``, evaluate the schedule's
+expected work under the *true* ``p``, and report the fraction of the
+correctly-informed optimum retained.
+
+Two error models are provided, matching how estimates actually go wrong:
+
+* :func:`parameter_error_sweep` — systematic bias (e.g. the estimated
+  half-life or lifespan off by ±x%);
+* :func:`sampling_error_sweep` — statistical noise (fit from n samples, as a
+  function of n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.guidelines import guideline_schedule
+from ..core.life_functions import LifeFunction
+from ..core.optimizer import optimize_schedule
+from ..types import FloatArray
+
+__all__ = [
+    "RobustnessPoint",
+    "misestimation_ratio",
+    "parameter_error_sweep",
+    "sampling_error_sweep",
+]
+
+
+@dataclass(frozen=True)
+class RobustnessPoint:
+    """One (error level → retained efficiency) measurement."""
+
+    error: float
+    ratio: float
+    t0_used: float
+
+
+def misestimation_ratio(
+    p_true: LifeFunction,
+    p_hat: LifeFunction,
+    c: float,
+    optimal_work: float | None = None,
+) -> tuple[float, float]:
+    """Efficiency retained when scheduling with ``p_hat`` against ``p_true``.
+
+    Returns ``(ratio, t0_used)`` where ``ratio = E_true(S_hat) / E_true(S*)``.
+    """
+    schedule_hat = guideline_schedule(p_hat, c, grid=65).schedule
+    achieved = schedule_hat.expected_work(p_true, c)
+    if optimal_work is None:
+        optimal_work = optimize_schedule(p_true, c).expected_work
+    ratio = achieved / optimal_work if optimal_work > 0 else 1.0
+    return ratio, float(schedule_hat.periods[0])
+
+
+def parameter_error_sweep(
+    p_true: LifeFunction,
+    make_estimate: Callable[[float], LifeFunction],
+    c: float,
+    errors: Sequence[float] = (-0.5, -0.25, -0.1, 0.0, 0.1, 0.25, 0.5),
+) -> list[RobustnessPoint]:
+    """Sweep systematic estimation error.
+
+    ``make_estimate(eps)`` builds the mis-parameterized life function for a
+    relative error ``eps`` (e.g. lifespan scaled by ``1 + eps``); ``eps = 0``
+    must return (an equivalent of) the truth.
+    """
+    optimal = optimize_schedule(p_true, c).expected_work
+    points = []
+    for eps in errors:
+        ratio, t0 = misestimation_ratio(p_true, make_estimate(eps), c, optimal)
+        points.append(RobustnessPoint(error=float(eps), ratio=ratio, t0_used=t0))
+    return points
+
+
+def sampling_error_sweep(
+    p_true: LifeFunction,
+    fitter: Callable[[FloatArray], LifeFunction],
+    c: float,
+    sample_sizes: Sequence[int] = (10, 30, 100, 300, 1000),
+    replications: int = 10,
+    rng: np.random.Generator | None = None,
+) -> list[RobustnessPoint]:
+    """Sweep statistical estimation error: fit from n samples, n growing.
+
+    Each point averages ``replications`` independent fits; ``error`` records
+    ``n`` (cast to float) rather than a relative bias.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    optimal = optimize_schedule(p_true, c).expected_work
+    points = []
+    for n in sample_sizes:
+        ratios = []
+        t0s = []
+        for _ in range(replications):
+            data = p_true.sample_reclaim_times(rng, n)
+            try:
+                p_hat = fitter(data)
+                ratio, t0 = misestimation_ratio(p_true, p_hat, c, optimal)
+            except Exception:
+                ratio, t0 = 0.0, float("nan")
+            ratios.append(ratio)
+            t0s.append(t0)
+        points.append(
+            RobustnessPoint(
+                error=float(n),
+                ratio=float(np.mean(ratios)),
+                t0_used=float(np.nanmean(t0s)),
+            )
+        )
+    return points

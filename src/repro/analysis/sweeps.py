@@ -1,0 +1,36 @@
+"""Parameter-sweep utilities shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = ["SweepPoint", "cartesian_sweep", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter combination and the row it produced."""
+
+    params: dict[str, Any]
+    row: Sequence[Any]
+
+
+def cartesian_sweep(**axes: Iterable[Any]) -> list[dict[str, Any]]:
+    """All combinations of the named axes, as parameter dicts.
+
+    >>> cartesian_sweep(c=[1, 2], L=[10])
+    [{'c': 1, 'L': 10}, {'c': 2, 'L': 10}]
+    """
+    names = list(axes)
+    combos = itertools.product(*(list(axes[n]) for n in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def run_sweep(
+    params_list: Sequence[Mapping[str, Any]],
+    fn: Callable[..., Sequence[Any]],
+) -> list[SweepPoint]:
+    """Apply ``fn(**params)`` over a parameter list, collecting rows."""
+    return [SweepPoint(dict(params), fn(**params)) for params in params_list]

@@ -1,0 +1,65 @@
+"""Fixed-width console tables for the benchmark harness.
+
+Every experiment bench prints paper-style rows through this formatter so the
+EXPERIMENTS.md transcripts stay uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _format_cell(value: object, width: int, precision: int) -> str:
+    if isinstance(value, bool):
+        text = "yes" if value else "no"
+    elif isinstance(value, float):
+        if value != value:  # NaN
+            text = "nan"
+        elif value == 0 or 1e-3 <= abs(value) < 10 ** (width - 2):
+            text = f"{value:.{precision}f}"
+        else:
+            text = f"{value:.{max(1, precision - 2)}e}"
+    else:
+        text = str(value)
+    return text.rjust(width) if isinstance(value, (int, float, bool)) else text.ljust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+    min_width: int = 8,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width table string."""
+    rows = [list(r) for r in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = [_format_cell(v, widths[i], precision) for i, v in enumerate(row)]
+        widths = [max(w, len(c.strip()) + 1) for w, c in zip(widths, cells)]
+        rendered.append(cells)
+    # Second pass with final widths.
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(_format_cell(v, w, precision).rjust(w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+    title: str | None = None,
+) -> None:
+    """Print a table (flushes so pytest -s output interleaves correctly)."""
+    print("\n" + format_table(headers, rows, precision=precision, title=title), flush=True)

@@ -1,0 +1,31 @@
+"""Baseline chunking strategies: analytic schedules and online policies."""
+
+from .policies import (
+    AllInOnePolicy,
+    DoublingPolicy,
+    EpisodeInfo,
+    FixedChunkPolicy,
+    GuidelinePolicy,
+    OmniscientPolicy,
+    Policy,
+    ProgressivePolicy,
+    RandomizedDoublingPolicy,
+    SchedulePolicy,
+)
+from .schedules import all_in_one_schedule, doubling_schedule, fixed_chunk_schedule
+
+__all__ = [
+    "EpisodeInfo",
+    "Policy",
+    "SchedulePolicy",
+    "GuidelinePolicy",
+    "ProgressivePolicy",
+    "FixedChunkPolicy",
+    "DoublingPolicy",
+    "AllInOnePolicy",
+    "RandomizedDoublingPolicy",
+    "OmniscientPolicy",
+    "fixed_chunk_schedule",
+    "doubling_schedule",
+    "all_in_one_schedule",
+]

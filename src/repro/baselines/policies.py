@@ -1,0 +1,293 @@
+"""Online period-sizing policies for the NOW simulator.
+
+A *policy* decides, period by period, how much work to ship to a borrowed
+workstation.  The protocol is deliberately minimal (two methods) so the
+guideline scheduler, the paper's greedy recipe, and classic ad-hoc heuristics
+all plug into the same discrete-event farm (:mod:`repro.now.farm`):
+
+* :class:`SchedulePolicy` — replay a precomputed schedule (guideline, exact,
+  greedy, or any baseline from :mod:`repro.baselines.schedules`);
+* :class:`GuidelinePolicy` — recompute the guideline schedule per episode
+  from the life-function estimate the master holds;
+* :class:`ProgressivePolicy` — Section 6's conditional re-planning;
+* :class:`FixedChunkPolicy`, :class:`DoublingPolicy`, :class:`AllInOnePolicy`
+  — the practical defaults;
+* :class:`RandomizedDoublingPolicy` — a simplified stand-in for [2]'s
+  randomized commitment strategy (geometric sizes, random phase);
+* :class:`OmniscientPolicy` — clairvoyant upper bound: it reads the episode's
+  actual reclaim time and ships exactly one maximal period.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.guidelines import guideline_schedule
+from ..core.life_functions import LifeFunction
+from ..core.progressive import ProgressiveScheduler
+from ..core.schedule import Schedule
+from ..exceptions import CycleStealingError
+
+__all__ = [
+    "EpisodeInfo",
+    "Policy",
+    "SchedulePolicy",
+    "GuidelinePolicy",
+    "ProgressivePolicy",
+    "FixedChunkPolicy",
+    "DoublingPolicy",
+    "AllInOnePolicy",
+    "RandomizedDoublingPolicy",
+    "OmniscientPolicy",
+]
+
+
+@dataclass(frozen=True)
+class EpisodeInfo:
+    """What a policy may know at the start of an episode.
+
+    ``reclaim_time`` is the ground-truth owner return offset — populated by
+    the simulator for *every* episode but read only by
+    :class:`OmniscientPolicy` (it exists to compute clairvoyant upper
+    bounds, not to leak into honest policies).
+    """
+
+    c: float
+    #: The master's (possibly fitted) life-function estimate, if any.
+    life: Optional[LifeFunction] = None
+    #: Ground truth, for the omniscient bound only.
+    reclaim_time: Optional[float] = None
+
+
+@runtime_checkable
+class Policy(Protocol):
+    """Period-sizing protocol driven by the farm simulator."""
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        """Reset state for a fresh episode."""
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        """Planned length of the next period after surviving to ``elapsed``.
+
+        ``None`` declines to dispatch further work this episode.
+        """
+
+
+class SchedulePolicy:
+    """Replay a fixed schedule's periods in order."""
+
+    def __init__(self, schedule: Schedule) -> None:
+        self.schedule = schedule
+        self._index = 0
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        self._index = 0
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        if self._index >= self.schedule.num_periods:
+            return None
+        t = float(self.schedule[self._index])
+        self._index += 1
+        return t
+
+
+class GuidelinePolicy:
+    """Compute a guideline schedule at episode start, then replay it.
+
+    Uses the estimate in :attr:`EpisodeInfo.life`; episodes without an
+    estimate dispatch nothing (the honest choice — the guidelines need ``p``).
+    """
+
+    def __init__(self, t0_strategy: str = "optimize") -> None:
+        self.t0_strategy = t0_strategy
+        self._inner: Optional[SchedulePolicy] = None
+        # Episodes with the same estimate reuse the schedule: the guideline
+        # computation (bracket + t0 search) is deterministic in (life, c).
+        self._cache: dict[tuple[int, float], Optional[Schedule]] = {}
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        self._inner = None
+        if info.life is None:
+            return
+        key = (id(info.life), info.c)
+        if key not in self._cache:
+            try:
+                result = guideline_schedule(
+                    info.life, info.c, t0_strategy=self.t0_strategy, grid=65
+                )
+                self._cache[key] = result.schedule
+            except CycleStealingError:
+                self._cache[key] = None
+        schedule = self._cache[key]
+        if schedule is None:
+            return
+        self._inner = SchedulePolicy(schedule)
+        self._inner.start_episode(info)
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        if self._inner is None:
+            return None
+        return self._inner.next_period(elapsed)
+
+
+class ProgressivePolicy:
+    """Section 6's conditional re-planning, one period at a time.
+
+    Re-planning from scratch at every elapsed time is expensive (a full
+    bracket + ``t_0`` search per period).  Because the conditional life
+    function varies smoothly in the conditioning time, the policy quantizes
+    ``elapsed`` to ~2.5% relative resolution and caches the planned period per
+    quantized key — across episodes too, since the estimate is fixed.  The
+    core :class:`~repro.core.progressive.ProgressiveScheduler` stays exact;
+    this cache is a simulation-throughput device.
+    """
+
+    #: Keys per e-fold of elapsed time: resolution ~ exp(1/40) - 1 ≈ 2.5%.
+    _LOG_RESOLUTION = 40.0
+
+    def __init__(self, t0_strategy: str = "optimize", grid: int = 33) -> None:
+        self.t0_strategy = t0_strategy
+        self.grid = grid
+        self._scheduler: Optional[ProgressiveScheduler] = None
+        self._cache: dict[tuple[int, int, float], Optional[float]] = {}
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        if info.life is None:
+            self._scheduler = None
+            return
+        self._life_id = id(info.life)
+        self._scheduler = ProgressiveScheduler(
+            info.life, info.c, t0_strategy=self.t0_strategy, grid=self.grid
+        )
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        if self._scheduler is None:
+            return None
+        key = (
+            self._life_id,
+            int(math.log1p(max(elapsed, 0.0)) * self._LOG_RESOLUTION),
+            self._scheduler.c,
+        )
+        if key in self._cache:
+            return self._cache[key]
+        # Sync the scheduler's clock with the caller's elapsed time (the
+        # realized period can differ from the planned one after packing).
+        self._scheduler.elapsed = float(elapsed)
+        result = self._scheduler.next_period()
+        self._scheduler._done = False  # caching must not latch termination
+        self._cache[key] = result
+        return result
+
+
+class FixedChunkPolicy:
+    """Constant period length — the ubiquitous practical default."""
+
+    def __init__(self, chunk: float) -> None:
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self.chunk = float(chunk)
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        self._c = info.c
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        return self.chunk if self.chunk > self._c else None
+
+
+class DoublingPolicy:
+    """Geometrically growing periods: ``first, first*factor, ...`` (capped)."""
+
+    def __init__(self, first: float, factor: float = 2.0, cap: float = math.inf) -> None:
+        if first <= 0 or factor <= 1.0:
+            raise ValueError(f"need first > 0 and factor > 1, got {first}, {factor}")
+        self.first = float(first)
+        self.factor = float(factor)
+        self.cap = float(cap)
+        self._next = self.first
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        self._next = self.first
+        self._c = info.c
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        t = min(self._next, self.cap)
+        self._next = min(self._next * self.factor, self.cap)
+        return t if t > self._c else None
+
+
+class AllInOnePolicy:
+    """One huge period per episode (no intermediate returns)."""
+
+    def __init__(self, length: float) -> None:
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        self.length = float(length)
+        self._dispatched = False
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        self._dispatched = False
+        self._c = info.c
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        if self._dispatched or self.length <= self._c:
+            return None
+        self._dispatched = True
+        return self.length
+
+
+class RandomizedDoublingPolicy:
+    """Doubling with a random initial phase — a simplified [2]-style strategy.
+
+    Awerbuch, Azar, Fiat and Leighton's strategy commits to geometrically
+    increasing amounts with randomization to defeat adversarial reclaims;
+    here the first period is ``base * factor^U`` with ``U ~ Uniform[0, 1)``,
+    re-drawn each episode, then grows geometrically.
+    """
+
+    def __init__(
+        self, base: float, rng: np.random.Generator, factor: float = 2.0
+    ) -> None:
+        if base <= 0 or factor <= 1.0:
+            raise ValueError(f"need base > 0 and factor > 1, got {base}, {factor}")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.rng = rng
+        self._next = self.base
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        self._c = info.c
+        phase = float(self.rng.uniform(0.0, 1.0))
+        self._next = self.base * self.factor**phase
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        t = self._next
+        self._next *= self.factor
+        return t if t > self._c else None
+
+
+class OmniscientPolicy:
+    """Clairvoyant upper bound: one period ending just before the reclaim.
+
+    Banks ``R - c - margin`` work per episode — no honest policy can beat it.
+    """
+
+    def __init__(self, margin: float = 1e-9) -> None:
+        self.margin = float(margin)
+        self._period: Optional[float] = None
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        self._period = None
+        if info.reclaim_time is None:
+            return
+        usable = info.reclaim_time * (1.0 - self.margin)
+        if usable > info.c:
+            self._period = usable
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        t = self._period
+        self._period = None
+        return t

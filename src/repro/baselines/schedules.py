@@ -1,0 +1,92 @@
+"""Baseline schedule constructors for analytic comparison.
+
+These produce plain :class:`~repro.core.schedule.Schedule` objects whose
+expected work can be evaluated with eq. (2.1), giving exact (not sampled)
+baseline numbers for the benchmark tables:
+
+* *fixed chunk* — equal periods, the ubiquitous practical default;
+* *doubling ramp* — geometrically growing periods, the classic "start small,
+  trust growth" heuristic (and the shape of [2]'s randomized strategy);
+* *all-in-one* — a single period spanning the whole opportunity, i.e. no
+  intermediate result returns at all.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.life_functions import LifeFunction
+from ..core.schedule import Schedule
+from ..exceptions import InvalidScheduleError
+
+__all__ = ["fixed_chunk_schedule", "doubling_schedule", "all_in_one_schedule"]
+
+
+def _horizon(p: LifeFunction, quantile: float = 1e-9) -> float:
+    return p.lifespan if math.isfinite(p.lifespan) else float(p.inverse(quantile))
+
+
+def fixed_chunk_schedule(
+    p: LifeFunction, c: float, chunk: float, horizon: Optional[float] = None
+) -> Schedule:
+    """Equal periods of length ``chunk`` covering the opportunity.
+
+    The final partial period is included only if productive (> c).
+    """
+    if chunk <= c:
+        raise InvalidScheduleError(f"chunk {chunk} must exceed overhead {c}")
+    end = horizon if horizon is not None else _horizon(p)
+    n_full = int(end // chunk)
+    periods = [chunk] * n_full
+    remainder = end - n_full * chunk
+    if remainder > c:
+        periods.append(remainder)
+    if not periods:
+        periods = [chunk]
+    return Schedule(periods)
+
+
+def doubling_schedule(
+    p: LifeFunction,
+    c: float,
+    first: float,
+    factor: float = 2.0,
+    horizon: Optional[float] = None,
+    max_periods: int = 10_000,
+) -> Schedule:
+    """Periods ``first, first*factor, first*factor², ...`` up to the horizon."""
+    if first <= c:
+        raise InvalidScheduleError(f"first period {first} must exceed overhead {c}")
+    if factor <= 1.0:
+        raise InvalidScheduleError(f"growth factor must exceed 1, got {factor}")
+    end = horizon if horizon is not None else _horizon(p)
+    periods: list[float] = []
+    t = first
+    total = 0.0
+    while total + t <= end and len(periods) < max_periods:
+        periods.append(t)
+        total += t
+        t *= factor
+    if not periods:
+        periods = [min(first, end)]
+    remainder = end - total
+    if remainder > c:
+        periods.append(remainder)
+    return Schedule(periods)
+
+
+def all_in_one_schedule(p: LifeFunction, c: float, horizon: Optional[float] = None) -> Schedule:
+    """A single period spanning the whole opportunity.
+
+    For a finite lifespan this banks work only if the owner *never* returns
+    within it — expected work ``(L - c) * p(L) = 0`` — which is exactly why
+    the paper's scheduling problem exists.  For unbounded support it spans a
+    deep tail quantile.
+    """
+    end = horizon if horizon is not None else _horizon(p, quantile=1e-3)
+    if end <= c:
+        raise InvalidScheduleError(f"horizon {end} does not exceed overhead {c}")
+    return Schedule([end])

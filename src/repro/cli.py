@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``schedule``
+    Compute a guideline schedule for a named life-function family and print
+    the bracket, periods, and expected work.
+``compare``
+    Compare guideline / greedy / progressive / exact-optimal expected work
+    for one family instance.
+``fit``
+    Read absence durations (one float per line, ``-`` for stdin), fit every
+    family, and print the best schedule for a given overhead.
+
+Examples
+--------
+::
+
+    python -m repro schedule --family uniform --lifespan 480 --c 3
+    python -m repro schedule --family geomdec --a 1.1 --c 0.5 --t0-strategy mid
+    python -m repro compare --family geominc --lifespan 30 --c 1
+    python -m repro fit durations.txt --c 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import core
+from .analysis.tables import format_table
+
+__all__ = ["main", "build_parser", "make_life_function"]
+
+
+def make_life_function(args: argparse.Namespace) -> core.LifeFunction:
+    """Construct the life function a CLI invocation names."""
+    family = args.family
+    if family == "uniform":
+        return core.UniformRisk(_require(args, "lifespan"))
+    if family == "poly":
+        return core.PolynomialRisk(int(_require(args, "d")), _require(args, "lifespan"))
+    if family == "geomdec":
+        return core.GeometricDecreasingLifespan(_require(args, "a"))
+    if family == "geominc":
+        return core.GeometricIncreasingRisk(_require(args, "lifespan"))
+    if family == "weibull":
+        return core.WeibullLife(k=_require(args, "k"), scale=_require(args, "scale"))
+    raise SystemExit(f"unknown family: {family}")
+
+
+def _require(args: argparse.Namespace, name: str) -> float:
+    value = getattr(args, name, None)
+    if value is None:
+        raise SystemExit(f"--{name.replace('_', '-')} is required for --family {args.family}")
+    return float(value)
+
+
+def _add_family_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", required=True,
+                        choices=["uniform", "poly", "geomdec", "geominc", "weibull"])
+    parser.add_argument("--lifespan", "--L", dest="lifespan", type=float,
+                        help="potential lifespan L (uniform/poly/geominc)")
+    parser.add_argument("--d", type=int, help="polynomial degree (poly)")
+    parser.add_argument("--a", type=float, help="risk factor a > 1 (geomdec)")
+    parser.add_argument("--k", type=float, help="Weibull shape")
+    parser.add_argument("--scale", type=float, help="Weibull scale")
+    parser.add_argument("--c", type=float, required=True,
+                        help="communication overhead per period")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cycle-stealing scheduling guidelines (Rosenberg, 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sched = sub.add_parser("schedule", help="compute a guideline schedule")
+    _add_family_args(p_sched)
+    p_sched.add_argument("--t0", type=float, default=None,
+                         help="explicit initial period (skips the search)")
+    p_sched.add_argument("--t0-strategy", default="optimize",
+                         choices=["optimize", "lower", "mid", "upper"])
+
+    p_cmp = sub.add_parser("compare", help="guideline vs greedy vs optimal")
+    _add_family_args(p_cmp)
+
+    p_fit = sub.add_parser("fit", help="fit a life function to durations and schedule")
+    p_fit.add_argument("path", help="file of absence durations, one per line ('-' = stdin)")
+    p_fit.add_argument("--c", type=float, required=True)
+    return parser
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    p = make_life_function(args)
+    result = core.guideline_schedule(
+        p, args.c, t0=args.t0, t0_strategy=args.t0_strategy
+    )
+    print(f"life function : {p!r}")
+    print(f"t0 bracket    : [{result.bracket.lo:.4g}, {result.bracket.hi:.4g}]")
+    print(f"t0 chosen     : {result.t0:.6g}  (strategy: {result.t0_strategy})")
+    print(f"periods ({result.schedule.num_periods}):")
+    print("  " + ", ".join(f"{t:.4g}" for t in result.schedule.periods))
+    print(f"expected work : {result.expected_work:.6g}")
+    print(f"termination   : {result.termination.value}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    p = make_life_function(args)
+    c = args.c
+    rows = []
+    guided = core.guideline_schedule(p, c)
+    rows.append(["guideline", guided.schedule.num_periods, guided.expected_work])
+    greedy = core.greedy_schedule(p, c)
+    rows.append(["greedy", greedy.num_periods, greedy.expected_work(p, c)])
+    prog = core.progressive_schedule(p, c)
+    rows.append(["progressive", prog.num_periods, prog.expected_work(p, c)])
+    optimal = core.optimize_schedule(p, c)
+    rows.append(["optimal (NLP)", optimal.num_periods, optimal.expected_work])
+    print(format_table(["strategy", "periods", "expected work"], rows,
+                       title=f"{p!r}, c = {c}"))
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from .traces import fit_best
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path) as fh:
+            text = fh.read()
+    durations = np.array([float(tok) for tok in text.split()], dtype=float)
+    if durations.size < 2:
+        raise SystemExit("need at least 2 durations")
+    fit = fit_best(durations)
+    print(f"fitted: {fit.family}  (KS distance {fit.ks:.4f}, "
+          f"loglik {fit.log_likelihood:.4g})")
+    result = core.guideline_schedule(fit.life, args.c)
+    print(f"schedule ({result.schedule.num_periods} periods): "
+          + ", ".join(f"{t:.4g}" for t in result.schedule.periods))
+    print(f"expected work: {result.expected_work:.6g}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "fit":
+        return _cmd_fit(args)
+    raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Exact discrete-optimal schedules by dynamic programming (Section 6).
+
+The paper closes with: "we have had to translate what is ideally a discrete
+problem into a continuous framework ... Can one show that our continuous
+guidelines yield valuable discrete analogues?"  This module answers the
+question computationally for the data-parallel setting of Section 1: tasks of
+uniform duration ``tau``, periods of the form ``c + k·tau`` (whole tasks), and
+a finite potential lifespan ``L``.
+
+On a time grid of step ``delta`` (a common divisor of ``c`` and ``tau``), the
+optimal expected work from elapsed time ``t`` obeys the Bellman equation
+
+    V(t) = max( 0,  max_{k >= 1, t + c + k tau <= L}
+                    k·tau · p(t + c + k·tau) + V(t + c + k·tau) )
+
+solved backward in ``O(N²)`` for ``N = L/delta`` grid points.  The resulting
+``V(0)`` is the *exact* optimum over all whole-task schedules — the yardstick
+for how much the quantized continuous guidelines leave on the table
+(experiment EV-DISC).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..exceptions import InvalidScheduleError
+from .life_functions import LifeFunction
+from .schedule import Schedule
+
+__all__ = ["DiscreteOptimum", "solve_discrete_optimal"]
+
+
+@dataclass(frozen=True)
+class DiscreteOptimum:
+    """The exact optimum over whole-task schedules."""
+
+    schedule: Schedule
+    expected_work: float
+    #: Tasks shipped in each period.
+    task_counts: tuple[int, ...]
+    #: Grid step used by the DP.
+    delta: float
+
+    @property
+    def num_periods(self) -> int:
+        return self.schedule.num_periods
+
+
+def _common_grid(c: float, tau: float, max_denominator: int = 10_000) -> float:
+    """A step dividing both c and tau (rational approximation)."""
+    if c == 0.0:
+        return tau
+    fc = Fraction(c).limit_denominator(max_denominator)
+    ft = Fraction(tau).limit_denominator(max_denominator)
+    g = Fraction(math.gcd(fc.numerator * ft.denominator, ft.numerator * fc.denominator),
+                 fc.denominator * ft.denominator)
+    return float(g)
+
+
+def solve_discrete_optimal(
+    p: LifeFunction,
+    c: float,
+    tau: float,
+    max_states: int = 200_000,
+) -> DiscreteOptimum:
+    """Exact DP over whole-task schedules for a finite-lifespan ``p``.
+
+    Parameters
+    ----------
+    p:
+        Life function with a finite lifespan (the DP needs a bounded grid).
+    c:
+        Per-period communication overhead.
+    tau:
+        Uniform task duration (the work quantum).
+    max_states:
+        Guard on the grid size ``L/delta``; refuse rather than thrash.
+
+    Raises
+    ------
+    InvalidScheduleError
+        For unbounded lifespans, non-positive quanta, or oversize grids.
+    """
+    if not math.isfinite(p.lifespan):
+        raise InvalidScheduleError("discrete DP requires a finite lifespan")
+    if tau <= 0 or c < 0:
+        raise InvalidScheduleError(f"need tau > 0 and c >= 0, got tau={tau}, c={c}")
+    delta = _common_grid(c, tau)
+    n = int(math.floor(p.lifespan / delta + 1e-9))
+    if n < 1:
+        raise InvalidScheduleError(
+            f"lifespan {p.lifespan} too short for grid step {delta}"
+        )
+    if n > max_states:
+        raise InvalidScheduleError(
+            f"grid of {n} states exceeds max_states={max_states}; "
+            "coarsen tau or raise the limit"
+        )
+    c_steps = int(round(c / delta))
+    tau_steps = int(round(tau / delta))
+
+    # Survival evaluated once on the whole grid (vectorized).
+    grid_times = delta * np.arange(n + 1)
+    survival = np.asarray(p(grid_times), dtype=float)
+
+    # V[i] = optimal expected work from grid point i; choice[i] = tasks in the
+    # next period (0 = stop).
+    values = np.zeros(n + 1)
+    choice = np.zeros(n + 1, dtype=np.int64)
+    for i in range(n - c_steps - tau_steps, -1, -1):
+        # Candidate period ends: j = i + c_steps + k*tau_steps <= n.
+        k_max = (n - i - c_steps) // tau_steps
+        if k_max < 1:
+            continue
+        ks = np.arange(1, k_max + 1)
+        ends = i + c_steps + ks * tau_steps
+        gains = (ks * tau_steps * delta) * survival[ends] + values[ends]
+        best = int(np.argmax(gains))
+        if gains[best] > 0.0:
+            values[i] = float(gains[best])
+            choice[i] = int(ks[best])
+
+    # Reconstruct the schedule from the policy.
+    counts: list[int] = []
+    periods: list[float] = []
+    i = 0
+    while choice[i] > 0:
+        k = int(choice[i])
+        counts.append(k)
+        periods.append(c + k * tau)
+        i += c_steps + k * tau_steps
+    if not periods:
+        raise InvalidScheduleError(
+            f"no whole-task period fits: lifespan {p.lifespan}, c={c}, tau={tau}"
+        )
+    return DiscreteOptimum(
+        schedule=Schedule(periods),
+        expected_work=float(values[0]),
+        task_counts=tuple(counts),
+        delta=delta,
+    )

@@ -1,0 +1,118 @@
+"""Existence of optimal schedules (Corollary 3.2).
+
+Corollary 3.2 gives a *necessary* condition for a life function to admit an
+optimal schedule: there must exist ``t > c`` with
+
+    p(t) > -(t - c) * p'(t).
+
+The paper notes this can be used to show that the heavy-tailed family
+``p(t) = 1/(t+1)^d`` (``d > 1``) admits **no** optimal schedule: the supremum
+of expected work is approached but never attained.
+
+Two tools are provided:
+
+* :func:`admissibility_margin` / :func:`satisfies_corollary_32` — the literal
+  Corollary 3.2 test, evaluated on a grid with sign refinement;
+* :func:`supremum_probe` — an empirical non-attainment diagnostic: the best
+  ``m``-period expected work as ``m`` grows, together with each maximizer's
+  total span.  For a family with no optimum the values keep creeping upward
+  while the maximizing schedules drift (spans grow without bound); for
+  admissible families the sequence is attained exactly at some finite ``m``
+  (concave case) or converges with stable maximizers (geometric-decreasing).
+
+Note on the literal test: the printed Corollary 3.2 condition is satisfied
+*near* ``t = c`` by every life function with ``p(c) > 0`` (the right-hand side
+vanishes at ``t = c``), so the literal inequality alone cannot separate the
+Pareto family — the separation in the paper comes from the way the corollary
+is *used* (the tail behaviour of the (3.1) system).  We therefore also expose
+:func:`tail_admissibility_margin`, which evaluates the margin in the limit of
+large ``t``: for ``p = (1+t)^{-d}`` the margin ratio tends to ``1 - d + o(1)``
+times the survival, i.e. is eventually negative for every ``d > 1``, matching
+the paper's claim; for the Section 4 families it stays positive where it
+matters.  The EXPERIMENTS entry E32-EXIST reports both diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..types import FloatArray
+from .life_functions import LifeFunction
+from .optimizer import optimize_fixed_m
+
+__all__ = [
+    "admissibility_margin",
+    "satisfies_corollary_32",
+    "tail_admissibility_margin",
+    "supremum_probe",
+]
+
+
+def admissibility_margin(p: LifeFunction, c: float, t: FloatArray) -> FloatArray:
+    """``p(t) + (t - c) p'(t)`` — positive where the Corollary 3.2 condition holds."""
+    arr = np.asarray(t, dtype=float)
+    return np.asarray(p(arr), dtype=float) + (arr - c) * np.asarray(
+        p.derivative(arr), dtype=float
+    )
+
+
+def satisfies_corollary_32(p: LifeFunction, c: float, n_points: int = 2048) -> bool:
+    """Literal Corollary 3.2 test: does some ``t > c`` have a positive margin?
+
+    Probes a grid from just above ``c`` to the lifespan (or a deep tail
+    quantile).  A necessary condition for an optimum to exist; its failure
+    *proves* non-existence.
+    """
+    upper = p.lifespan if math.isfinite(p.lifespan) else float(p.inverse(1e-12))
+    if upper <= c:
+        return False
+    ts = np.linspace(c, upper, n_points + 1)[1:]
+    return bool(np.any(admissibility_margin(p, c, ts) > 0.0))
+
+
+def tail_admissibility_margin(
+    p: LifeFunction, c: float, quantiles: FloatArray | None = None
+) -> FloatArray:
+    """The normalized margin ``1 + (t - c) p'(t)/p(t)`` deep in the tail.
+
+    Evaluated at the times where survival equals each ``quantile`` (default
+    ``1e-3 .. 1e-9``).  Eventually-negative values are the signature of the
+    heavy-tailed (``1/(t+1)^d``, ``d > 1``) non-attainment phenomenon: the
+    hazard decays so fast that postponing work is always worth it, so no
+    schedule is ever final.  Families with bounded lifespan or exponential
+    tails keep this quantity positive at every scale that matters.
+    """
+    qs = (
+        np.asarray(quantiles, dtype=float)
+        if quantiles is not None
+        else np.array([1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9])
+    )
+    out = np.empty(qs.size)
+    for i, q in enumerate(qs):
+        t = float(p.inverse(q))
+        pv = float(p(t))
+        if pv <= 0.0 or t <= c:
+            out[i] = math.nan
+            continue
+        out[i] = 1.0 + (t - c) * float(p.derivative(t)) / pv
+    return out
+
+
+def supremum_probe(
+    p: LifeFunction, c: float, m_values: list[int] | None = None
+) -> dict[int, tuple[float, float]]:
+    """Best ``m``-period expected work and maximizer span, per ``m``.
+
+    Returns ``{m: (E*_m, total_span_m)}``.  Monotone-increasing ``E*_m`` with
+    unbounded spans is the empirical signature of a missing optimum.
+    """
+    if m_values is None:
+        m_values = [1, 2, 4, 8, 16, 32]
+    results: dict[int, tuple[float, float]] = {}
+    horizon = p.lifespan if math.isfinite(p.lifespan) else float(p.inverse(1e-15))
+    for m in sorted(m_values):
+        res = optimize_fixed_m(p, c, m, horizon=horizon)
+        results[m] = (res.expected_work, res.schedule.total_length)
+    return results

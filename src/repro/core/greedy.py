@@ -1,0 +1,100 @@
+"""Greedy cycle-stealing schedules (Section 6).
+
+The paper's "natural recipe": choose each period length myopically,
+
+    t_k = argmax_{t > c}  (t - c) * p(T_{k-1} + t),
+
+i.e. maximize the *expected work of the current period alone*.  Section 6
+observes that greedy is optimal for the geometrically decreasing lifespan
+scenario (memorylessness makes myopia harmless) but **not** for the
+uniform-risk scenario — quantified by experiment E6-GREEDY.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from ..exceptions import InvalidScheduleError
+from .life_functions import LifeFunction
+from .schedule import Schedule
+
+__all__ = ["greedy_next_period", "greedy_schedule"]
+
+
+def greedy_next_period(
+    p: LifeFunction, c: float, start: float, tol: float = 1e-12
+) -> Optional[float]:
+    """The greedy period length from elapsed time ``start``, or ``None``.
+
+    Maximizes ``g(t) = (t - c) p(start + t)`` over ``t ∈ (c, horizon - start)``.
+    Returns ``None`` when no productive period is available (the window is
+    exhausted or the maximal expected gain is non-positive).
+    """
+    lifespan = p.lifespan
+    if math.isfinite(lifespan):
+        hi = lifespan - start
+    else:
+        hi = float(p.inverse(1e-15)) - start
+    if hi <= c:
+        return None
+
+    def neg_gain(t: float) -> float:
+        return -(t - c) * float(p(start + t))
+
+    # Grid seed guards against local maxima of non-unimodal g (e.g. mixtures).
+    ts = c + (hi - c) * np.linspace(0.0, 1.0, 257)[1:]
+    vals = np.array([-neg_gain(float(t)) for t in ts])
+    k = int(np.argmax(vals))
+    lo_b = float(ts[max(0, k - 1)])
+    hi_b = float(ts[min(len(ts) - 1, k + 1)])
+    res = minimize_scalar(neg_gain, bounds=(lo_b, hi_b), method="bounded",
+                          options={"xatol": 1e-13})
+    t_star = float(res.x)
+    best = max(-float(res.fun), float(vals[k]))
+    if best <= tol:
+        return None
+    if -float(res.fun) < float(vals[k]):
+        t_star = float(ts[k])
+    return t_star if t_star > c else None
+
+
+def greedy_schedule(
+    p: LifeFunction,
+    c: float,
+    max_periods: int = 10_000,
+    tail_tol: float = 1e-12,
+) -> Schedule:
+    """Build the full greedy schedule by repeated myopic maximization.
+
+    Stops when no productive period remains, when the marginal expected gain
+    falls below ``tail_tol`` relative to the accumulated expectation, or at
+    ``max_periods``.
+
+    Raises
+    ------
+    InvalidScheduleError
+        If not even the first period can be productive (``p`` dies before
+        ``c`` elapses with any usable probability).
+    """
+    periods: list[float] = []
+    start = 0.0
+    e_so_far = 0.0
+    for _ in range(max_periods):
+        t = greedy_next_period(p, c, start)
+        if t is None:
+            break
+        gain = (t - c) * float(p(start + t))
+        if periods and gain < tail_tol * max(1.0, e_so_far):
+            break
+        periods.append(t)
+        start += t
+        e_so_far += gain
+    if not periods:
+        raise InvalidScheduleError(
+            f"greedy found no productive period (c={c} too large for this life function)"
+        )
+    return Schedule(periods)

@@ -1,0 +1,136 @@
+"""The paper's scheduling guidelines as a single high-level API.
+
+The intended workflow (Sections 3–4, 6):
+
+1. bracket the optimal initial period ``t_0`` with Theorems 3.2/3.3
+   ("substantially narrow one's search space ... factor-of-2 uncertainty");
+2. pick ``t_0`` inside the bracket — either a heuristic point (lower / mid /
+   upper) or a 1-D numeric search over the bracket, which is cheap because
+   every other period follows deterministically;
+3. generate the remaining periods with the Corollary 3.1 recurrence.
+
+:func:`guideline_schedule` packages all three steps and reports the bracket,
+the chosen ``t_0``, the termination reason, and the expected work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import CycleStealingError
+from ..types import Bracket
+from .life_functions import LifeFunction, Shape
+from .recurrence import RecurrenceOutcome, Termination, generate_schedule
+from .schedule import Schedule
+from .t0_bounds import lower_bound_t0, t0_bracket
+
+__all__ = ["GuidelineResult", "guideline_schedule", "T0Strategy"]
+
+#: Accepted values for the ``t0_strategy`` argument.
+T0Strategy = ("optimize", "lower", "mid", "upper")
+
+
+@dataclass(frozen=True)
+class GuidelineResult:
+    """A guideline-generated schedule plus full provenance."""
+
+    schedule: Schedule
+    expected_work: float
+    t0: float
+    bracket: Bracket
+    termination: Termination
+    t0_strategy: str
+
+    @property
+    def num_periods(self) -> int:
+        return self.schedule.num_periods
+
+
+def _bracket_or_fallback(p: LifeFunction, c: float, shape: Optional[Shape]) -> Bracket:
+    try:
+        return t0_bracket(p, c, shape=shape)
+    except ValueError:
+        # GENERAL shape — Theorem 3.3 is unavailable; keep the Theorem 3.2
+        # lower bound and cap by the lifespan / a deep tail quantile.
+        lo = lower_bound_t0(p, c)
+        hi = p.lifespan if math.isfinite(p.lifespan) else float(p.inverse(1e-6))
+        return Bracket(lo, max(hi, lo))
+
+
+def guideline_schedule(
+    p: LifeFunction,
+    c: float,
+    t0: Optional[float] = None,
+    t0_strategy: str = "optimize",
+    shape: Optional[Shape] = None,
+    grid: int = 129,
+    max_periods: int = 10_000,
+) -> GuidelineResult:
+    """Produce a near-optimal cycle-stealing schedule for life function ``p``.
+
+    Parameters
+    ----------
+    p:
+        The episode's life function (Section 2.1 axioms; validated shapes get
+        tighter ``t_0`` upper bounds via Theorem 3.3).
+    c:
+        The communication overhead bracketing each period (send + return).
+    t0:
+        Explicit initial period length.  When given, the bracket is still
+        computed for reporting but not enforced.
+    t0_strategy:
+        How to choose ``t_0`` when not given explicitly: ``"optimize"`` (1-D
+        search of expected work over the bracket — the paper's recommended
+        use of its "manageably narrow search space"), or the heuristic points
+        ``"lower"`` / ``"mid"`` / ``"upper"`` of the bracket.
+    shape:
+        Override the life function's declared shape (e.g. from
+        :func:`repro.core.life_functions.detect_shape` for fitted curves).
+    grid:
+        Grid resolution for the ``"optimize"`` strategy.
+    max_periods:
+        Safety cap on generated periods.
+
+    Raises
+    ------
+    CycleStealingError
+        If no productive schedule exists (bracket collapses below ``c``).
+    """
+    if t0_strategy not in T0Strategy:
+        raise ValueError(f"t0_strategy must be one of {T0Strategy}, got {t0_strategy!r}")
+    bracket = _bracket_or_fallback(p, c, shape)
+
+    if t0 is not None:
+        chosen = float(t0)
+        strategy_used = "explicit"
+        outcome = generate_schedule(p, c, chosen, max_periods=max_periods)
+        ew = outcome.schedule.expected_work(p, c)
+    elif t0_strategy == "optimize":
+        from .optimizer import optimize_t0_via_recurrence
+
+        chosen, outcome, ew = optimize_t0_via_recurrence(p, c, bracket=bracket, grid=grid)
+        strategy_used = "optimize"
+    else:
+        point = {"lower": bracket.lo, "mid": bracket.mid, "upper": bracket.hi}[t0_strategy]
+        if point <= c:
+            raise CycleStealingError(
+                f"bracket point t0={point} does not exceed the overhead c={c}; "
+                "no productive schedule exists for this (p, c)"
+            )
+        if math.isfinite(p.lifespan):
+            point = min(point, p.lifespan * (1 - 1e-12))
+        chosen = float(point)
+        strategy_used = t0_strategy
+        outcome = generate_schedule(p, c, chosen, max_periods=max_periods)
+        ew = outcome.schedule.expected_work(p, c)
+
+    return GuidelineResult(
+        schedule=outcome.schedule,
+        expected_work=ew,
+        t0=chosen,
+        bracket=bracket,
+        termination=outcome.termination,
+        t0_strategy=strategy_used,
+    )

@@ -1,0 +1,37 @@
+"""Life functions: the risk profiles of cycle-stealing episodes (Section 2.1).
+
+Exports the abstract base, the analytic families of Sections 3.1/4, and the
+composition/shape utilities.
+"""
+
+from .base import ConditionalLifeFunction, LifeFunction, Shape
+from .extra_families import GompertzLife, LogLogisticLife
+from .families import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    ParetoLife,
+    PolynomialRisk,
+    UniformRisk,
+    WeibullLife,
+)
+from .shape import detect_shape, is_concave, is_convex
+from .transforms import MixtureLife, TimeScaledLife
+
+__all__ = [
+    "LifeFunction",
+    "ConditionalLifeFunction",
+    "Shape",
+    "UniformRisk",
+    "PolynomialRisk",
+    "GeometricDecreasingLifespan",
+    "GeometricIncreasingRisk",
+    "WeibullLife",
+    "ParetoLife",
+    "GompertzLife",
+    "LogLogisticLife",
+    "MixtureLife",
+    "TimeScaledLife",
+    "detect_shape",
+    "is_concave",
+    "is_convex",
+]

@@ -1,0 +1,312 @@
+"""Abstract base class for life functions (Section 2.1 of the paper).
+
+A *life function* ``p`` encodes the risk profile of a cycle-stealing episode:
+``p(t)`` is the probability that the borrowed workstation has **not** been
+reclaimed by time ``t``.  The model requires:
+
+* ``p(0) == 1``;
+* ``p`` decreases monotonically;
+* if an upper bound ``L`` on the episode duration is known (the *potential
+  lifespan*), ``p`` reaches 0 at ``L``; otherwise ``p(t) -> 0`` as ``t -> inf``;
+* for the paper's analytical guidelines, ``p`` must be differentiable and have
+  no flex point — i.e. be *concave* (``p'`` non-increasing) or *convex*
+  (``p'`` non-decreasing) — although several results hold for general
+  differentiable ``p``.
+
+Subclasses provide the function, its derivative, its support, and (where a
+closed form exists) its inverse; the base class supplies numerically robust
+defaults for everything else, including inverse-transform sampling of reclaim
+times for the Monte-Carlo simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ...exceptions import BracketError, InvalidLifeFunctionError, SupportError
+from ...types import ArrayLike, FloatArray
+
+
+class Shape(enum.Enum):
+    """Structural shape of a life function, per Section 3.1.
+
+    ``CONCAVE`` means ``p'`` is everywhere non-increasing; ``CONVEX`` means
+    ``p'`` is everywhere non-decreasing; ``LINEAR`` satisfies both (the
+    uniform-risk function); ``GENERAL`` satisfies neither globally, so only
+    the shape-free results (Theorems 3.1 and 3.2) apply.
+    """
+
+    CONCAVE = "concave"
+    CONVEX = "convex"
+    LINEAR = "linear"
+    GENERAL = "general"
+
+    @property
+    def is_concave(self) -> bool:
+        return self in (Shape.CONCAVE, Shape.LINEAR)
+
+    @property
+    def is_convex(self) -> bool:
+        return self in (Shape.CONVEX, Shape.LINEAR)
+
+
+class LifeFunction(ABC):
+    """A smooth survival function ``p(t)`` for a cycle-stealing episode.
+
+    Instances are immutable and vectorized: :meth:`__call__` and
+    :meth:`derivative` accept scalars or numpy arrays of times ``t >= 0``.
+    Times beyond a finite lifespan evaluate to ``p = 0`` and ``p' = 0``.
+    """
+
+    #: Resolution of the cached grid used by the generic inverse/sampler.
+    _GRID_SIZE = 4097
+
+    def __init__(self) -> None:
+        self._inverse_grid: Optional[tuple[FloatArray, FloatArray]] = None
+
+    # ------------------------------------------------------------------
+    # Abstract interface
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        """Evaluate ``p`` on an array of times inside the support."""
+
+    @abstractmethod
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        """Evaluate ``p'`` on an array of times inside the support."""
+
+    @property
+    @abstractmethod
+    def lifespan(self) -> float:
+        """The potential lifespan ``L`` (``math.inf`` when unbounded)."""
+
+    @property
+    @abstractmethod
+    def shape(self) -> Shape:
+        """Declared shape (concavity/convexity) of the function."""
+
+    # ------------------------------------------------------------------
+    # Vectorized evaluation with support handling
+    # ------------------------------------------------------------------
+
+    def _coerce(self, t: ArrayLike) -> tuple[FloatArray, bool]:
+        arr = np.asarray(t, dtype=float)
+        scalar = arr.ndim == 0
+        arr = np.atleast_1d(arr)
+        if np.any(arr < 0):
+            raise SupportError(f"life function evaluated at negative time: {arr.min()}")
+        return arr, scalar
+
+    def __call__(self, t: ArrayLike) -> ArrayLike:
+        """Survival probability ``p(t)`` (vectorized; 0 beyond the lifespan)."""
+        if isinstance(t, (float, int)):  # fast scalar path (hot in recurrences)
+            if t < 0:
+                raise SupportError(f"life function evaluated at negative time: {t}")
+            if t > self.lifespan:
+                return 0.0
+            value = float(self._evaluate(np.asarray([t], dtype=float))[0])
+            return min(max(value, 0.0), 1.0)
+        arr, scalar = self._coerce(t)
+        out = np.zeros_like(arr)
+        inside = arr <= self.lifespan
+        if np.any(inside):
+            out[inside] = np.clip(self._evaluate(arr[inside]), 0.0, 1.0)
+        return float(out[0]) if scalar else out
+
+    def derivative(self, t: ArrayLike) -> ArrayLike:
+        """Derivative ``p'(t)`` (vectorized; 0 beyond the lifespan)."""
+        if isinstance(t, (float, int)):  # fast scalar path (hot in recurrences)
+            if t < 0:
+                raise SupportError(f"life function evaluated at negative time: {t}")
+            if t > self.lifespan:
+                return 0.0
+            return float(self._derivative(np.asarray([t], dtype=float))[0])
+        arr, scalar = self._coerce(t)
+        out = np.zeros_like(arr)
+        inside = arr <= self.lifespan
+        if np.any(inside):
+            out[inside] = self._derivative(arr[inside])
+        return float(out[0]) if scalar else out
+
+    def second_derivative(self, t: ArrayLike, h: float = 1e-6) -> ArrayLike:
+        """Numeric second derivative via central differences on ``p'``.
+
+        Subclasses with closed forms may override.  Used only for shape
+        diagnostics, never inside the guideline recurrences.
+        """
+        arr, scalar = self._coerce(t)
+        span = self.lifespan if math.isfinite(self.lifespan) else max(1.0, float(arr.max()))
+        step = h * max(1.0, span)
+        lo = np.maximum(arr - step, 0.0)
+        hi = arr + step
+        if math.isfinite(self.lifespan):
+            hi = np.minimum(hi, self.lifespan)
+        denom = hi - lo
+        out = (np.asarray(self.derivative(hi)) - np.asarray(self.derivative(lo))) / denom
+        return float(out[0]) if scalar else out
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    def hazard(self, t: ArrayLike) -> ArrayLike:
+        """Hazard rate ``h(t) = -p'(t) / p(t)`` — the instantaneous reclaim risk."""
+        p = np.asarray(self(t), dtype=float)
+        dp = np.asarray(self.derivative(t), dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(p > 0, -dp / np.where(p > 0, p, 1.0), np.inf)
+        return float(out) if np.isscalar(t) or np.ndim(t) == 0 else out
+
+    def expected_lifetime(self) -> float:
+        """``E[R] = ∫ p(t) dt`` — the mean reclaim time (may be infinite)."""
+        from scipy import integrate
+
+        upper = self.lifespan
+        if math.isinf(upper):
+            # Integrate to a quantile far in the tail, then bound the remainder.
+            upper = self.inverse(1e-12)
+        value, _ = integrate.quad(lambda x: float(self(x)), 0.0, upper, limit=200)
+        return float(value)
+
+    def conditional(self, s: float) -> "ConditionalLifeFunction":
+        """The life function conditioned on survival to time ``s``.
+
+        ``p_s(t) = p(s + t) / p(s)`` — used by the progressive scheduler of
+        Section 6, which re-plans after each completed period using
+        conditional rather than absolute probabilities.
+        """
+        return ConditionalLifeFunction(self, s)
+
+    # ------------------------------------------------------------------
+    # Inversion and sampling
+    # ------------------------------------------------------------------
+
+    def _grid(self) -> tuple[FloatArray, FloatArray]:
+        """Monotone (p-values, times) grid for generic inversion, cached."""
+        if self._inverse_grid is None:
+            if math.isfinite(self.lifespan):
+                upper = self.lifespan
+            else:
+                upper = self._tail_horizon()
+            ts = np.linspace(0.0, upper, self._GRID_SIZE)
+            ps = np.asarray(self(ts), dtype=float)
+            # Enforce strict monotonicity for interp (ties collapse to first).
+            ps = np.minimum.accumulate(ps)
+            self._inverse_grid = (ps[::-1].copy(), ts[::-1].copy())
+        return self._inverse_grid
+
+    def _tail_horizon(self, eps: float = 1e-14) -> float:
+        """A time by which ``p`` has decayed below ``eps`` (unbounded support)."""
+        hi = 1.0
+        for _ in range(200):
+            if float(self(hi)) < eps:
+                return hi
+            hi *= 2.0
+        raise BracketError("life function tail decays too slowly to locate horizon")
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        """``p^{-1}(y)``: the time at which survival first drops to ``y``.
+
+        Vectorized via a cached monotone grid plus linear interpolation;
+        subclasses override with closed forms where available.  For finite
+        lifespan, ``inverse(0) == L``.
+        """
+        arr = np.asarray(y, dtype=float)
+        scalar = arr.ndim == 0
+        arr = np.atleast_1d(arr)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        ps, ts = self._grid()
+        out = np.interp(arr, ps, ts)
+        return float(out[0]) if scalar else out
+
+    def sample_reclaim_times(self, rng: np.random.Generator, size: int) -> FloatArray:
+        """Draw ``size`` i.i.d. reclaim times ``R`` with ``P(R > t) = p(t)``.
+
+        Inverse-transform sampling: ``R = p^{-1}(U)``, ``U ~ Uniform(0, 1)``.
+        """
+        u = rng.uniform(0.0, 1.0, size=size)
+        return np.asarray(self.inverse(u), dtype=float)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self, n_points: int = 257, tol: float = 1e-8) -> None:
+        """Check the Section 2.1 requirements numerically.
+
+        Raises :class:`InvalidLifeFunctionError` if ``p(0) != 1``, if ``p``
+        increases anywhere on the probe grid, or if a finite lifespan does not
+        drive ``p`` to 0.
+        """
+        if abs(float(self(0.0)) - 1.0) > tol:
+            raise InvalidLifeFunctionError(f"p(0) = {self(0.0)!r}, expected 1")
+        upper = self.lifespan if math.isfinite(self.lifespan) else self._tail_horizon(1e-9)
+        ts = np.linspace(0.0, upper, n_points)
+        ps = np.asarray(self(ts), dtype=float)
+        if np.any(np.diff(ps) > tol):
+            raise InvalidLifeFunctionError("life function increases somewhere on its support")
+        if math.isfinite(self.lifespan) and ps[-1] > tol:
+            raise InvalidLifeFunctionError(
+                f"p(L) = {ps[-1]} > 0 for finite lifespan L = {self.lifespan}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(lifespan={self.lifespan}, shape={self.shape.value})"
+
+
+class ConditionalLifeFunction(LifeFunction):
+    """``p_s(t) = p(s + t) / p(s)`` — the episode's risk profile given survival to ``s``.
+
+    Produced by :meth:`LifeFunction.conditional`.  Inherits the parent's shape:
+    conditioning rescales by the constant ``1/p(s)`` and shifts the argument,
+    both of which preserve concavity/convexity of the survival curve.
+    """
+
+    def __init__(self, parent: LifeFunction, s: float) -> None:
+        super().__init__()
+        if s < 0:
+            raise SupportError(f"conditioning time must be nonnegative, got {s}")
+        ps = float(parent(s))
+        if ps <= 0.0:
+            raise SupportError(f"cannot condition on survival to t={s}: p(s) = 0")
+        self.parent = parent
+        self.s = float(s)
+        self._ps = ps
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        return np.asarray(self.parent(self.s + t), dtype=float) / self._ps
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        return np.asarray(self.parent.derivative(self.s + t), dtype=float) / self._ps
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        """Exact inverse via the parent: ``p_s(t) = y  ⟺  t = p⁻¹(y·p(s)) − s``.
+
+        Reuses the parent's (closed-form or cached-grid) inverse instead of
+        building a fresh grid per conditional object — the progressive
+        scheduler constructs many short-lived conditionals.
+        """
+        arr = np.asarray(y, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        out = np.asarray(self.parent.inverse(arr * self._ps), dtype=float) - self.s
+        out = np.maximum(out, 0.0)
+        return float(out) if np.ndim(y) == 0 else out
+
+    @property
+    def lifespan(self) -> float:
+        parent_l = self.parent.lifespan
+        return parent_l - self.s if math.isfinite(parent_l) else math.inf
+
+    @property
+    def shape(self) -> Shape:
+        return self.parent.shape

@@ -1,0 +1,122 @@
+"""Additional analytic life-function families beyond the paper's four.
+
+These extend the library's coverage of realistic owner-absence shapes:
+
+* :class:`GompertzLife` — ``p(t) = exp(-(b/eta)(e^{eta t} - 1))``:
+  exponentially *accelerating* hazard, the smooth unbounded-support cousin of
+  the coffee-break scenario.  Concave wherever the hazard dominates (checked
+  numerically; declared GENERAL since concavity fails near 0 for small b).
+* :class:`LogLogisticLife` — ``p(t) = 1 / (1 + (t/alpha)^beta)``: a
+  heavy-ish tail with closed-form inverse; for ``beta > 1`` the hazard rises
+  then falls (meetings that are either short or very long).  For ``beta <= 1``
+  the tail is so heavy that — like the paper's Pareto example — the
+  Corollary 3.2 tail signature indicates no optimal schedule exists.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...types import ArrayLike, FloatArray
+from .base import LifeFunction, Shape
+
+__all__ = ["GompertzLife", "LogLogisticLife"]
+
+
+class GompertzLife(LifeFunction):
+    """``p(t) = exp(-(b/eta)(e^{eta t} - 1))`` — accelerating reclaim hazard.
+
+    The hazard is ``b e^{eta t}``: like the coffee-break family the risk
+    grows exponentially, but support is unbounded and the growth rate is a
+    free parameter.  ``eta -> 0`` degenerates to the memoryless family with
+    rate ``b``.
+    """
+
+    def __init__(self, b: float, eta: float) -> None:
+        super().__init__()
+        if b <= 0 or eta <= 0:
+            raise ValueError(f"need b > 0 and eta > 0, got b={b}, eta={eta}")
+        self.b = float(b)
+        self.eta = float(eta)
+
+    def _cum_hazard(self, t: FloatArray) -> FloatArray:
+        return (self.b / self.eta) * np.expm1(self.eta * t)
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        return np.exp(-self._cum_hazard(t))
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        return -self.b * np.exp(self.eta * t) * np.exp(-self._cum_hazard(t))
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        arr = np.asarray(y, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        with np.errstate(divide="ignore"):
+            inner = 1.0 - (self.eta / self.b) * np.log(np.where(arr > 0, arr, 1.0))
+            out = np.where(arr > 0, np.log(inner) / self.eta, np.inf)
+        return float(out) if np.ndim(y) == 0 else out
+
+    @property
+    def lifespan(self) -> float:
+        return math.inf
+
+    @property
+    def shape(self) -> Shape:
+        # p'' changes sign at b e^{eta t} = eta, i.e. the curve has a flex
+        # point whenever b < eta; declare GENERAL and let callers probe.
+        return Shape.GENERAL
+
+    def __repr__(self) -> str:
+        return f"GompertzLife(b={self.b}, eta={self.eta})"
+
+
+class LogLogisticLife(LifeFunction):
+    """``p(t) = 1 / (1 + (t/alpha)^beta)`` — short-or-very-long absences.
+
+    ``alpha`` is the median absence; for ``beta > 1`` the hazard is unimodal.
+    The tail decays like ``t^{-beta}``, so for ``beta <= 1`` this family
+    joins the Pareto example in admitting no optimal schedule (tail margin
+    ``1 + (t-c) p'/p -> 1 - beta``).
+    """
+
+    def __init__(self, alpha: float, beta: float) -> None:
+        super().__init__()
+        if alpha <= 0 or beta <= 0:
+            raise ValueError(f"need alpha > 0 and beta > 0, got {alpha}, {beta}")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        return 1.0 / (1.0 + (t / self.alpha) ** self.beta)
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        a, b = self.alpha, self.beta
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x = (t / a) ** (b - 1.0)
+            out = -(b / a) * x / (1.0 + (t / a) ** b) ** 2
+        if b < 1.0:
+            out = np.where(t == 0.0, -np.inf, out)
+        return out
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        arr = np.asarray(y, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        with np.errstate(divide="ignore"):
+            ratio = np.where(arr > 0, 1.0 / np.where(arr > 0, arr, 1.0) - 1.0, np.inf)
+            out = self.alpha * ratio ** (1.0 / self.beta)
+        return float(out) if np.ndim(y) == 0 else out
+
+    @property
+    def lifespan(self) -> float:
+        return math.inf
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.GENERAL
+
+    def __repr__(self) -> str:
+        return f"LogLogisticLife(alpha={self.alpha}, beta={self.beta})"

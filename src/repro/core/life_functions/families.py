@@ -1,0 +1,307 @@
+"""The analytic life-function families of Sections 3.1 and 4.
+
+Three scenarios are inherited from the phenomenological study [3] and drive
+the paper's evaluation (Section 4):
+
+* :class:`UniformRisk` — ``p(t) = 1 - t/L`` (Section 4.1, d = 1): the risk of
+  interruption is uniform across the potential lifespan; both concave and
+  convex.
+* :class:`PolynomialRisk` — ``p_{d,L}(t) = 1 - t^d / L^d`` (Section 4.1): the
+  concave generalization studied in the paper's first case family.
+* :class:`GeometricDecreasingLifespan` — ``p_a(t) = a^{-t}`` (Section 4.2):
+  episodes with a "half-life"; convex, unbounded support.
+* :class:`GeometricIncreasingRisk` — ``p(t) = (2^L - 2^t)/(2^L - 1)``
+  (Section 4.3): the "coffee break" scenario, where the risk of interruption
+  doubles at every time unit; concave.
+
+Two further families support the library's testing and the Corollary 3.2
+existence experiment:
+
+* :class:`WeibullLife` — ``p(t) = exp(-(t/scale)^k)``: convex for ``k <= 1``;
+  for ``k > 1`` it has a flex point, exercising the ``GENERAL`` shape paths.
+* :class:`ParetoLife` — ``p(t) = (1 + t)^{-d}``: the paper's example (after
+  Corollary 3.2) of a family that, for ``d > 1``, admits **no** optimal
+  schedule.
+
+All closed-form inverses and derivatives are exact, so the guideline
+recurrence and the Monte-Carlo sampler never fall back to grid inversion for
+these families.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...types import ArrayLike, FloatArray
+from .base import LifeFunction, Shape
+
+__all__ = [
+    "UniformRisk",
+    "PolynomialRisk",
+    "GeometricDecreasingLifespan",
+    "GeometricIncreasingRisk",
+    "WeibullLife",
+    "ParetoLife",
+]
+
+
+class PolynomialRisk(LifeFunction):
+    """``p_{d,L}(t) = 1 - (t/L)^d`` on ``[0, L]`` — Section 4.1's concave family.
+
+    ``d = 1`` is the *uniform risk* scenario of [3].  For every integer
+    ``d >= 1`` the function is concave (``p''(t) = -d(d-1) t^{d-2} / L^d <= 0``),
+    so Theorem 3.3's concave upper bound and the Section 5 structural results
+    (strictly decreasing periods, finiteness) all apply.
+    """
+
+    def __init__(self, d: int, lifespan: float) -> None:
+        super().__init__()
+        if d < 1 or int(d) != d:
+            raise ValueError(f"degree d must be a positive integer, got {d}")
+        if lifespan <= 0:
+            raise ValueError(f"lifespan must be positive, got {lifespan}")
+        self.d = int(d)
+        self._lifespan = float(lifespan)
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        return 1.0 - (t / self._lifespan) ** self.d
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        d, L = self.d, self._lifespan
+        return -(d / L) * (t / L) ** (d - 1)
+
+    def second_derivative(self, t: ArrayLike, h: float = 1e-6) -> ArrayLike:
+        arr, scalar = self._coerce(t)
+        d, L = self.d, self._lifespan
+        out = np.zeros_like(arr)
+        inside = arr <= L
+        if d >= 2:
+            out[inside] = -(d * (d - 1) / L**2) * (arr[inside] / L) ** (d - 2)
+        return float(out[0]) if scalar else out
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        arr = np.asarray(y, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        out = self._lifespan * (1.0 - arr) ** (1.0 / self.d)
+        return float(out) if np.ndim(y) == 0 else out
+
+    @property
+    def lifespan(self) -> float:
+        return self._lifespan
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.LINEAR if self.d == 1 else Shape.CONCAVE
+
+    def __repr__(self) -> str:
+        return f"PolynomialRisk(d={self.d}, L={self._lifespan})"
+
+
+class UniformRisk(PolynomialRisk):
+    """``p(t) = 1 - t/L`` — uniform interruption risk (Section 4.1, d = 1).
+
+    Both concave and convex; its unique optimal schedule (from [3]) has
+    ``t_k = t_{k-1} - c`` and ``t_0 = sqrt(2cL) + low-order terms``.
+    """
+
+    def __init__(self, lifespan: float) -> None:
+        super().__init__(d=1, lifespan=lifespan)
+
+    def __repr__(self) -> str:
+        return f"UniformRisk(L={self._lifespan})"
+
+
+class GeometricDecreasingLifespan(LifeFunction):
+    """``p_a(t) = a^{-t}`` — episodes with a half-life (Section 4.2).
+
+    Convex with unbounded support.  The memoryless property (constant hazard
+    ``ln a``) makes the conditional risk identical at every instant, which is
+    why the true optimal schedule of [3] is infinite with all periods equal.
+    """
+
+    def __init__(self, a: float) -> None:
+        super().__init__()
+        if a <= 1:
+            raise ValueError(f"risk factor a must exceed 1, got {a}")
+        self.a = float(a)
+        self.ln_a = math.log(self.a)
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        return np.exp(-self.ln_a * t)
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        return -self.ln_a * np.exp(-self.ln_a * t)
+
+    def second_derivative(self, t: ArrayLike, h: float = 1e-6) -> ArrayLike:
+        out = self.ln_a**2 * np.exp(-self.ln_a * np.asarray(t, dtype=float))
+        return float(out) if np.ndim(t) == 0 else out
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        arr = np.asarray(y, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        with np.errstate(divide="ignore"):
+            out = np.where(arr > 0, -np.log(np.where(arr > 0, arr, 1.0)) / self.ln_a, np.inf)
+        return float(out) if np.ndim(y) == 0 else out
+
+    @property
+    def lifespan(self) -> float:
+        return math.inf
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.CONVEX
+
+    def __repr__(self) -> str:
+        return f"GeometricDecreasingLifespan(a={self.a})"
+
+
+class GeometricIncreasingRisk(LifeFunction):
+    """``p(t) = (2^L - 2^t) / (2^L - 1)`` on ``[0, L]`` — Section 4.3.
+
+    Models an opportunity like a coffee break: the risk of interruption
+    doubles at every time step.  Concave (``p''(t) = -2^t ln^2 2/(2^L-1) < 0``).
+
+    Evaluation is carried out in a numerically careful form,
+    ``p(t) = (1 - 2^{t-L}) / (1 - 2^{-L})``, so lifespans up to ~1000 stay
+    well inside double-precision range.
+    """
+
+    def __init__(self, lifespan: float) -> None:
+        super().__init__()
+        if lifespan <= 0:
+            raise ValueError(f"lifespan must be positive, got {lifespan}")
+        self._lifespan = float(lifespan)
+        # 1 - 2^{-L}, computed stably for large L.
+        self._denom = -math.expm1(-self._lifespan * math.log(2.0))
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        # (1 - 2^{t-L}) / (1 - 2^{-L})
+        return -np.expm1((t - self._lifespan) * math.log(2.0)) / self._denom
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        ln2 = math.log(2.0)
+        return -ln2 * np.exp((t - self._lifespan) * ln2) / self._denom
+
+    def second_derivative(self, t: ArrayLike, h: float = 1e-6) -> ArrayLike:
+        ln2 = math.log(2.0)
+        arr = np.asarray(t, dtype=float)
+        out = -(ln2**2) * np.exp((arr - self._lifespan) * ln2) / self._denom
+        return float(out) if np.ndim(t) == 0 else out
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        arr = np.asarray(y, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        ln2 = math.log(2.0)
+        # y = (1 - 2^{t-L}) / denom  =>  t = L + log2(1 - y * denom)
+        inner = 1.0 - arr * self._denom
+        out = self._lifespan + np.log(np.maximum(inner, np.finfo(float).tiny)) / ln2
+        out = np.clip(out, 0.0, self._lifespan)
+        return float(out) if np.ndim(y) == 0 else out
+
+    @property
+    def lifespan(self) -> float:
+        return self._lifespan
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.CONCAVE
+
+    def __repr__(self) -> str:
+        return f"GeometricIncreasingRisk(L={self._lifespan})"
+
+
+class WeibullLife(LifeFunction):
+    """``p(t) = exp(-(t/scale)^k)`` — a flexible extra family.
+
+    Convex for ``k <= 1`` (decreasing hazard; ``k = 1`` recovers the
+    geometric-decreasing scenario with ``a = e^{1/scale}``).  For ``k > 1``
+    the survival curve has a flex point, so only the shape-free guidelines
+    (Theorem 3.1 recurrence, Theorem 3.2 lower bound) apply — this is the
+    library's canonical ``GENERAL``-shape test case.
+    """
+
+    def __init__(self, k: float, scale: float = 1.0) -> None:
+        super().__init__()
+        if k <= 0 or scale <= 0:
+            raise ValueError(f"k and scale must be positive, got k={k}, scale={scale}")
+        self.k = float(k)
+        self.scale = float(scale)
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        return np.exp(-((t / self.scale) ** self.k))
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        k, s = self.k, self.scale
+        with np.errstate(divide="ignore", invalid="ignore"):
+            grad = -(k / s) * (t / s) ** (k - 1.0) * np.exp(-((t / s) ** k))
+        if k < 1.0:
+            grad = np.where(t == 0.0, -np.inf, grad)
+        return grad
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        arr = np.asarray(y, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        with np.errstate(divide="ignore"):
+            out = np.where(
+                arr > 0,
+                self.scale * (-np.log(np.where(arr > 0, arr, 1.0))) ** (1.0 / self.k),
+                np.inf,
+            )
+        return float(out) if np.ndim(y) == 0 else out
+
+    @property
+    def lifespan(self) -> float:
+        return math.inf
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.CONVEX if self.k <= 1.0 else Shape.GENERAL
+
+    def __repr__(self) -> str:
+        return f"WeibullLife(k={self.k}, scale={self.scale})"
+
+
+class ParetoLife(LifeFunction):
+    """``p(t) = (1 + t)^{-d}`` — the heavy-tailed example after Corollary 3.2.
+
+    The paper notes that for ``d > 1`` this family admits **no** optimal
+    schedule: the supremum of expected work over schedules is approached but
+    never attained.  Convex, unbounded support.
+    """
+
+    def __init__(self, d: float) -> None:
+        super().__init__()
+        if d <= 0:
+            raise ValueError(f"exponent d must be positive, got {d}")
+        self.d = float(d)
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        return (1.0 + t) ** (-self.d)
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        return -self.d * (1.0 + t) ** (-self.d - 1.0)
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        arr = np.asarray(y, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        with np.errstate(divide="ignore"):
+            out = np.where(arr > 0, np.where(arr > 0, arr, 1.0) ** (-1.0 / self.d) - 1.0, np.inf)
+        return float(out) if np.ndim(y) == 0 else out
+
+    @property
+    def lifespan(self) -> float:
+        return math.inf
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.CONVEX
+
+    def __repr__(self) -> str:
+        return f"ParetoLife(d={self.d})"

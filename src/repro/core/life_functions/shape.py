@@ -1,0 +1,61 @@
+"""Numeric shape (concavity/convexity) detection for life functions.
+
+Theorem 3.3's two upper bounds on the optimal initial period require knowing
+whether the life function is convex or concave (Section 3.1: ``p'`` everywhere
+non-decreasing, resp. non-increasing).  Analytic families declare their shape;
+for empirical/fitted life functions we detect it numerically by probing the
+derivative on a grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import LifeFunction, Shape
+
+__all__ = ["detect_shape", "is_concave", "is_convex"]
+
+
+def _derivative_samples(p: LifeFunction, n_points: int) -> np.ndarray:
+    upper = p.lifespan if math.isfinite(p.lifespan) else p.inverse(1e-9)
+    # Avoid the exact endpoints, where families like Weibull(k<1) blow up.
+    ts = np.linspace(0.0, upper, n_points + 2)[1:-1]
+    return np.asarray(p.derivative(ts), dtype=float)
+
+
+def detect_shape(p: LifeFunction, n_points: int = 513, tol: float = 1e-9) -> Shape:
+    """Classify ``p`` by probing ``p'`` for monotonicity on its support.
+
+    Returns :data:`Shape.LINEAR` when ``p'`` is constant to within ``tol``,
+    :data:`Shape.CONCAVE` / :data:`Shape.CONVEX` when it is monotone, and
+    :data:`Shape.GENERAL` otherwise.  ``tol`` is relative to the magnitude of
+    the derivative samples.
+    """
+    dp = _derivative_samples(p, n_points)
+    scale = max(float(np.max(np.abs(dp))), 1e-300)
+    diffs = np.diff(dp) / scale
+    nonincreasing = bool(np.all(diffs <= tol))
+    nondecreasing = bool(np.all(diffs >= -tol))
+    if nonincreasing and nondecreasing:
+        return Shape.LINEAR
+    if nonincreasing:
+        return Shape.CONCAVE
+    if nondecreasing:
+        return Shape.CONVEX
+    return Shape.GENERAL
+
+
+def is_concave(p: LifeFunction, n_points: int = 513, tol: float = 1e-9) -> bool:
+    """Whether ``p`` is concave (``p'`` non-increasing), by declaration or probe."""
+    if p.shape is not Shape.GENERAL:
+        return p.shape.is_concave
+    return detect_shape(p, n_points, tol).is_concave
+
+
+def is_convex(p: LifeFunction, n_points: int = 513, tol: float = 1e-9) -> bool:
+    """Whether ``p`` is convex (``p'`` non-decreasing), by declaration or probe."""
+    if p.shape is not Shape.GENERAL:
+        return p.shape.is_convex
+    return detect_shape(p, n_points, tol).is_convex

@@ -1,0 +1,99 @@
+"""Composition and transformation of life functions.
+
+The paper assumes exact knowledge of ``p`` but notes the guidelines "extend
+easily to situations wherein this knowledge is approximate".  Mixtures and
+time scalings let us build richer risk profiles (e.g. "the owner is away for
+a meeting with probability 0.7, otherwise a coffee break") while preserving
+the survival-function axioms of Section 2.1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ...types import FloatArray
+from .base import LifeFunction, Shape
+
+__all__ = ["MixtureLife", "TimeScaledLife"]
+
+
+class MixtureLife(LifeFunction):
+    """Convex combination ``p(t) = sum_i w_i p_i(t)`` of life functions.
+
+    Mixtures of survival functions are survival functions.  Shape is preserved
+    only when every component shares it (a mixture of concave functions is
+    concave, etc.); otherwise the mixture reports ``GENERAL`` and only the
+    shape-free guidelines apply.
+    """
+
+    def __init__(self, components: Sequence[LifeFunction], weights: Sequence[float]) -> None:
+        super().__init__()
+        if len(components) == 0:
+            raise ValueError("mixture requires at least one component")
+        if len(components) != len(weights):
+            raise ValueError("components and weights must have equal length")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0) or not math.isclose(float(w.sum()), 1.0, rel_tol=0, abs_tol=1e-9):
+            raise ValueError(f"weights must be nonnegative and sum to 1, got {weights}")
+        self.components = tuple(components)
+        self.weights = w
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        acc = np.zeros_like(t)
+        for w, comp in zip(self.weights, self.components):
+            acc += w * np.asarray(comp(t), dtype=float)
+        return acc
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        acc = np.zeros_like(t)
+        for w, comp in zip(self.weights, self.components):
+            acc += w * np.asarray(comp.derivative(t), dtype=float)
+        return acc
+
+    @property
+    def lifespan(self) -> float:
+        return max(comp.lifespan for comp in self.components)
+
+    @property
+    def shape(self) -> Shape:
+        if all(c.shape.is_concave for c in self.components):
+            if all(c.shape.is_convex for c in self.components):
+                return Shape.LINEAR
+            return Shape.CONCAVE
+        if all(c.shape.is_convex for c in self.components):
+            return Shape.CONVEX
+        return Shape.GENERAL
+
+
+class TimeScaledLife(LifeFunction):
+    """``p(t) = parent(t / factor)`` — stretch (factor > 1) or compress time.
+
+    Useful for expressing life functions in different time units (e.g.
+    converting a trace recorded in seconds to task-time units) without
+    refitting.  Shape is preserved.
+    """
+
+    def __init__(self, parent: LifeFunction, factor: float) -> None:
+        super().__init__()
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        self.parent = parent
+        self.factor = float(factor)
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        return np.asarray(self.parent(t / self.factor), dtype=float)
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        return np.asarray(self.parent.derivative(t / self.factor), dtype=float) / self.factor
+
+    @property
+    def lifespan(self) -> float:
+        parent_l = self.parent.lifespan
+        return parent_l * self.factor if math.isfinite(parent_l) else math.inf
+
+    @property
+    def shape(self) -> Shape:
+        return self.parent.shape

@@ -1,0 +1,161 @@
+"""Shifts and perturbations of schedules (Sections 3.2 and 5.1).
+
+The paper's proofs compare a candidate schedule ``S`` against two kinds of
+local edits:
+
+* the ``⟨k, ±δ⟩``-*shift* — period ``k`` alone grows or shrinks by ``δ``
+  (all later periods slide; used to prove Theorem 3.1);
+* the ``[k, ±δ]``-*perturbation* — period ``k`` grows by ``δ`` while period
+  ``k+1`` shrinks by ``δ`` (later boundaries unchanged; used in Theorem 5.1
+  and in [3]'s ``S^{±k}`` comparisons).
+
+Theorem 5.1: for a *concave* life function, any schedule satisfying system
+(3.6) is strictly more productive than every ``δ``-perturbation of itself —
+the "local sufficiency" of the guidelines.  :func:`perturbation_margins` and
+:func:`is_locally_optimal` verify this numerically for arbitrary schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidScheduleError
+from ..types import FloatArray
+from .life_functions import LifeFunction
+from .schedule import Schedule
+
+__all__ = [
+    "shifted",
+    "perturbed",
+    "shift_gain",
+    "perturbation_gain",
+    "perturbation_margins",
+    "is_locally_optimal",
+    "LocalOptimalityReport",
+]
+
+
+def shifted(schedule: Schedule, k: int, delta: float) -> Schedule:
+    """The ``⟨k, +δ⟩``-shift (use negative ``delta`` for ``⟨k, −δ⟩``).
+
+    Period ``k`` becomes ``t_k + δ``; every later boundary moves by ``δ``.
+    """
+    new_length = schedule[k] + delta
+    if new_length <= 0:
+        raise InvalidScheduleError(
+            f"shift of {delta} would make period {k} non-positive ({new_length})"
+        )
+    return schedule.with_period(k, new_length)
+
+
+def perturbed(schedule: Schedule, k: int, delta: float) -> Schedule:
+    """The ``[k, +δ]``-perturbation (negative ``delta`` for ``[k, −δ]``).
+
+    Period ``k`` becomes ``t_k + δ`` and period ``k+1`` becomes
+    ``t_{k+1} − δ``; boundaries after ``T_{k+1}`` are unchanged.
+    """
+    if k + 1 >= schedule.num_periods:
+        raise InvalidScheduleError(
+            f"perturbation needs a successor period; k={k} is the last index"
+        )
+    a = schedule[k] + delta
+    b = schedule[k + 1] - delta
+    if a <= 0 or b <= 0:
+        raise InvalidScheduleError(
+            f"perturbation of {delta} at k={k} produces non-positive periods ({a}, {b})"
+        )
+    arr = schedule.periods.copy()
+    arr[k] = a
+    arr[k + 1] = b
+    return Schedule(arr)
+
+
+def shift_gain(schedule: Schedule, p: LifeFunction, c: float, k: int, delta: float) -> float:
+    """``E(S^{⟨k,+δ⟩}; p) − E(S; p)`` — positive means the shift improves ``S``."""
+    return shifted(schedule, k, delta).expected_work(p, c) - schedule.expected_work(p, c)
+
+
+def perturbation_gain(
+    schedule: Schedule, p: LifeFunction, c: float, k: int, delta: float
+) -> float:
+    """``E(S^{[k,+δ]}; p) − E(S; p)`` — positive means the perturbation improves ``S``."""
+    return perturbed(schedule, k, delta).expected_work(p, c) - schedule.expected_work(p, c)
+
+
+@dataclass(frozen=True)
+class LocalOptimalityReport:
+    """Result of probing all ``[k, ±δ]`` perturbations of a schedule."""
+
+    #: Largest E-gain found over all probed perturbations (< 0 ⟹ locally optimal).
+    max_gain: float
+    #: (k, delta) achieving ``max_gain``.
+    argmax: tuple[int, float]
+    #: Every probed gain, shape ``(num_pairs, num_deltas, 2)`` (last axis: +δ, −δ).
+    gains: FloatArray
+
+    @property
+    def locally_optimal(self) -> bool:
+        return self.max_gain <= 0.0
+
+
+def perturbation_margins(
+    schedule: Schedule,
+    p: LifeFunction,
+    c: float,
+    deltas: FloatArray | None = None,
+) -> LocalOptimalityReport:
+    """Probe every adjacent pair with a ladder of ``±δ`` perturbations.
+
+    ``deltas`` defaults to seven magnitudes spanning ``1e-6 .. 0.25`` times
+    each pair's *productive slack* ``min(t_k - c, t_{k+1} - c)`` (falling back
+    to the smaller period when a period is already unproductive).  Theorem
+    5.1's guarantee lives in the productive regime — it licenses ordinary
+    subtraction via Proposition 2.1 — so a ``+δ`` large enough to push the
+    successor below ``c`` can escape the theorem through the ``⊖`` operator
+    and legitimately improve ``E``; such probes are a different (period-count
+    changing) move, not a Theorem 5.1 perturbation.  Explicit ``deltas`` are
+    capped only by feasibility.
+    """
+    m = schedule.num_periods
+    if m < 2:
+        return LocalOptimalityReport(-np.inf, (0, 0.0), np.empty((0, 0, 2)))
+    fractions = (
+        np.asarray(deltas, dtype=float)
+        if deltas is not None
+        else np.array([1e-6, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25])
+    )
+    base = schedule.expected_work(p, c)
+    gains = np.empty((m - 1, fractions.size, 2))
+    best = -np.inf
+    arg = (0, 0.0)
+    for k in range(m - 1):
+        feasible_cap = min(schedule[k], schedule[k + 1])
+        productive_cap = min(schedule[k] - c, schedule[k + 1] - c)
+        cap = productive_cap if productive_cap > 0 else feasible_cap
+        for j, frac in enumerate(fractions):
+            delta = frac * cap if deltas is None else min(frac, 0.999 * feasible_cap)
+            for s, sign in enumerate((+1.0, -1.0)):
+                gain = perturbed(schedule, k, sign * delta).expected_work(p, c) - base
+                gains[k, j, s] = gain
+                if gain > best:
+                    best = gain
+                    arg = (k, sign * delta)
+    return LocalOptimalityReport(best, arg, gains)
+
+
+def is_locally_optimal(
+    schedule: Schedule,
+    p: LifeFunction,
+    c: float,
+    deltas: FloatArray | None = None,
+    tol: float = 1e-12,
+) -> bool:
+    """Whether no probed ``[k, ±δ]`` perturbation improves ``E`` beyond ``tol``.
+
+    Theorem 5.1 guarantees this for recurrence-satisfying schedules under
+    concave life functions.
+    """
+    report = perturbation_margins(schedule, p, c, deltas)
+    return report.max_gain <= tol * max(1.0, abs(schedule.expected_work(p, c)))

@@ -1,0 +1,47 @@
+"""Proposition 2.1: normalization to *productive* schedules.
+
+The proposition (quoted from [3], in the strengthened form the paper uses)
+says any schedule ``S`` can be replaced by ``S'`` with ``E(S'; p) >= E(S; p)``
+such that every period of ``S'`` — save the last, if ``S'`` is finite — has
+length ``> c``.  This licenses ordinary subtraction in place of positive
+subtraction throughout the analysis.
+
+The constructive transform implemented here is stronger than needed: a period
+with ``t_i <= c`` contributes ``t_i ⊖ c = 0`` work, yet *delays* every later
+period (``p`` is decreasing, so pushing boundaries later can only shrink their
+survival probabilities).  Deleting such a period therefore never decreases
+``E`` — and strictly increases it whenever a later productive period exists
+and ``p`` is strictly decreasing there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .life_functions import LifeFunction
+from .schedule import Schedule
+
+__all__ = ["make_productive", "is_productive"]
+
+
+def is_productive(schedule: Schedule, c: float) -> bool:
+    """Whether every period except possibly the last has length ``> c``."""
+    return schedule.is_productive(c)
+
+
+def make_productive(schedule: Schedule, c: float) -> Schedule:
+    """Apply the Proposition 2.1 transform: drop all unproductive periods.
+
+    Returns a schedule whose periods all exceed ``c`` — except in the
+    degenerate case where *no* period exceeds ``c``, in which case the single
+    longest period is kept (it contributes zero work either way, but a
+    schedule must be non-empty).
+
+    Guarantee (tested property): for every life function ``p``,
+    ``make_productive(S, c).expected_work(p, c) >= S.expected_work(p, c)``.
+    """
+    periods = schedule.periods
+    keep = periods > c
+    if not np.any(keep):
+        return Schedule([float(periods.max())])
+    return Schedule(periods[keep])

@@ -1,0 +1,273 @@
+"""Cycle-stealing schedules and their expected work (Section 2.1, eq. 2.1).
+
+A schedule ``S = t_0, t_1, ...`` partitions the borrowed workstation's
+potential availability into non-overlapping periods.  Period ``k`` starts at
+``tau_k = t_0 + ... + t_{k-1}`` and ends at ``T_k = tau_k + t_k``; it
+accomplishes ``t_k ⊖ c`` units of work (the fixed overhead ``c`` covers the
+send-work and return-results communications), and that work survives only if
+the workstation is not reclaimed by ``T_k``.  Hence the expected work
+
+    E(S; p) = sum_i (t_i ⊖ c) * p(T_i).
+
+The library represents schedules as immutable wrappers over float arrays.
+Infinite schedules (e.g. the equal-period optimum for the geometric-decreasing
+scenario) are handled by finite truncations with certified truncation error —
+see :func:`truncate_infinite` — plus closed forms in :mod:`repro.core.exact`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import InvalidScheduleError
+from ..types import FloatArray
+from .life_functions import LifeFunction
+
+__all__ = ["Schedule", "expected_work", "truncate_infinite"]
+
+
+class Schedule:
+    """An immutable finite cycle-stealing schedule ``t_0, t_1, ..., t_{m-1}``.
+
+    Parameters
+    ----------
+    periods:
+        The period lengths, all strictly positive.
+
+    Notes
+    -----
+    Equality and hashing are by value (exact float comparison); use
+    :meth:`approx_equals` for tolerant comparison.
+    """
+
+    __slots__ = ("_periods", "_boundaries")
+
+    def __init__(self, periods: Union[Sequence[float], FloatArray]) -> None:
+        arr = np.asarray(periods, dtype=float)
+        if arr.ndim != 1:
+            raise InvalidScheduleError(f"periods must be one-dimensional, got shape {arr.shape}")
+        if arr.size == 0:
+            raise InvalidScheduleError("a schedule must have at least one period")
+        if not np.all(np.isfinite(arr)):
+            raise InvalidScheduleError("period lengths must be finite")
+        if np.any(arr <= 0):
+            raise InvalidScheduleError(
+                f"period lengths must be strictly positive, got min {arr.min()}"
+            )
+        self._periods = arr.copy()
+        self._periods.setflags(write=False)
+        boundaries = np.cumsum(self._periods)
+        boundaries.setflags(write=False)
+        self._boundaries = boundaries
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def periods(self) -> FloatArray:
+        """Read-only array of period lengths ``t_0 .. t_{m-1}``."""
+        return self._periods
+
+    @property
+    def boundaries(self) -> FloatArray:
+        """Read-only array of period end times ``T_0 .. T_{m-1}`` (cumulative sums)."""
+        return self._boundaries
+
+    @property
+    def num_periods(self) -> int:
+        """The number of periods ``m``."""
+        return int(self._periods.size)
+
+    @property
+    def total_length(self) -> float:
+        """``T_{m-1} = t_0 + ... + t_{m-1}`` — the schedule's total span."""
+        return float(self._boundaries[-1])
+
+    def start_of(self, k: int) -> float:
+        """``tau_k``: the start time of period ``k`` (Section 2.1)."""
+        if not 0 <= k < self.num_periods:
+            raise IndexError(f"period index {k} out of range [0, {self.num_periods})")
+        return 0.0 if k == 0 else float(self._boundaries[k - 1])
+
+    def __len__(self) -> int:
+        return self.num_periods
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._periods.tolist())
+
+    def __getitem__(self, k: int) -> float:
+        return float(self._periods[k])
+
+    # ------------------------------------------------------------------
+    # Work accounting
+    # ------------------------------------------------------------------
+
+    def work_per_period(self, c: float) -> FloatArray:
+        """``t_i ⊖ c`` for each period — the work each period can accomplish."""
+        if c < 0:
+            raise InvalidScheduleError(f"overhead c must be nonnegative, got {c}")
+        return np.maximum(0.0, self._periods - c)
+
+    def productive_mask(self, c: float) -> np.ndarray:
+        """Boolean mask of *productive* periods (``t_i > c``)."""
+        return self._periods > c
+
+    def is_productive(self, c: float) -> bool:
+        """Proposition 2.1's normal form: every period except possibly the last
+        has length ``> c``."""
+        if self.num_periods == 1:
+            return True
+        return bool(np.all(self._periods[:-1] > c))
+
+    def expected_work(self, p: LifeFunction, c: float) -> float:
+        """``E(S; p)`` per eq. (2.1): ``sum_i (t_i ⊖ c) p(T_i)``."""
+        return expected_work(self, p, c)
+
+    def realized_work(self, reclaim_time: float, c: float) -> float:
+        """Work actually banked if the owner reclaims at ``reclaim_time``.
+
+        Period ``i`` counts iff the workstation survives past its end:
+        ``T_i < reclaim_time``.  This is the Section 2.1 accounting: "if B is
+        reclaimed by time T_k, then the episode ends, having accomplished
+        work sum_{i<k} (t_i ⊖ c)" — the interrupted period is lost.
+        """
+        completed = self._boundaries < reclaim_time
+        return float(np.sum(self.work_per_period(c)[completed]))
+
+    # ------------------------------------------------------------------
+    # Structural edits (used by Proposition 2.1 and perturbation analysis)
+    # ------------------------------------------------------------------
+
+    def with_period(self, k: int, new_length: float) -> "Schedule":
+        """Copy with period ``k`` replaced (a ⟨k, ±δ⟩ *shift*, Section 3.2)."""
+        arr = self._periods.copy()
+        arr[k] = new_length
+        return Schedule(arr)
+
+    def drop_period(self, k: int) -> "Schedule":
+        """Copy with period ``k`` removed."""
+        if self.num_periods == 1:
+            raise InvalidScheduleError("cannot drop the only period")
+        return Schedule(np.delete(self._periods, k))
+
+    def merge_first_two(self) -> "Schedule":
+        """The schedule ``t_0 + t_1, t_2, ...`` used in Theorem 3.2's proof."""
+        if self.num_periods < 2:
+            raise InvalidScheduleError("need at least two periods to merge")
+        arr = np.concatenate(([self._periods[0] + self._periods[1]], self._periods[2:]))
+        return Schedule(arr)
+
+    def split_first(self, t_hat: float) -> "Schedule":
+        """The schedule ``t_hat, t_0 - t_hat, t_1, ...`` from Lemma 3.1's proof."""
+        if not 0 < t_hat < self._periods[0]:
+            raise InvalidScheduleError(
+                f"split point must lie strictly inside the first period (0, {self._periods[0]})"
+            )
+        arr = np.concatenate(([t_hat, self._periods[0] - t_hat], self._periods[1:]))
+        return Schedule(arr)
+
+    # ------------------------------------------------------------------
+    # Comparison / repr
+    # ------------------------------------------------------------------
+
+    def approx_equals(self, other: "Schedule", rtol: float = 1e-9, atol: float = 1e-9) -> bool:
+        """Tolerant elementwise equality of period lengths."""
+        return self.num_periods == other.num_periods and bool(
+            np.allclose(self._periods, other._periods, rtol=rtol, atol=atol)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self.num_periods == other.num_periods and bool(
+            np.array_equal(self._periods, other._periods)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._periods.tobytes())
+
+    def __repr__(self) -> str:
+        if self.num_periods <= 6:
+            body = ", ".join(f"{t:.6g}" for t in self._periods)
+        else:
+            head = ", ".join(f"{t:.6g}" for t in self._periods[:3])
+            tail = ", ".join(f"{t:.6g}" for t in self._periods[-2:])
+            body = f"{head}, ..., {tail}"
+        return f"Schedule([{body}], m={self.num_periods})"
+
+
+def expected_work(schedule: Schedule, p: LifeFunction, c: float) -> float:
+    """Expected work ``E(S; p) = sum_i (t_i ⊖ c) p(T_i)`` (eq. 2.1).
+
+    Vectorized: one life-function evaluation over the boundary array and a dot
+    product.  Boundaries beyond a finite lifespan contribute 0 (``p`` clamps).
+    """
+    if c < 0:
+        raise InvalidScheduleError(f"overhead c must be nonnegative, got {c}")
+    survival = np.asarray(p(schedule.boundaries), dtype=float)
+    # "+ 0.0" normalizes IEEE -0.0 (from p values of -0.0 at the lifespan).
+    return float(np.dot(schedule.work_per_period(c), survival)) + 0.0
+
+
+def truncate_infinite(
+    period_source: Union[Iterable[float], Callable[[int], float]],
+    p: LifeFunction,
+    c: float,
+    tol: float = 1e-12,
+    max_periods: int = 100_000,
+) -> Schedule:
+    """Materialize an infinite schedule as a finite one with bounded E-loss.
+
+    ``period_source`` yields successive period lengths (an iterable, or a
+    callable mapping the period index to its length).  Generation stops when
+    the *remaining* expected work is provably below ``tol``: the tail after
+    boundary ``T`` is at most ``∫_T^∞ p``, bounded here by the crude but safe
+    ``p(T) * E[remaining lifetime]`` estimate — we simply stop once the
+    current period's own contribution falls below ``tol * max(1, E_so_far)``
+    and ``p(T)`` itself is below ``sqrt(tol)``, which suffices for the
+    geometrically decaying tails the model allows (``p -> 0`` monotonically).
+
+    Raises
+    ------
+    InvalidScheduleError
+        If ``max_periods`` periods are generated without meeting the stopping
+        rule (the tail decays too slowly to truncate safely).
+    """
+    if callable(period_source):
+        source: Iterator[float] = (period_source(i) for i in range(max_periods + 1))
+    else:
+        source = iter(period_source)
+
+    periods: list[float] = []
+    total = 0.0
+    e_so_far = 0.0
+    converged = False
+    for i, t in enumerate(source):
+        if i >= max_periods:
+            break
+        if t <= 0 or not math.isfinite(t):
+            converged = True  # the source itself terminated the schedule
+            break
+        total += t
+        contribution = max(0.0, t - c) * float(p(total))
+        periods.append(t)
+        e_so_far += contribution
+        if contribution < tol * max(1.0, e_so_far) and float(p(total)) < math.sqrt(tol):
+            converged = True
+            break
+        if math.isfinite(p.lifespan) and total >= p.lifespan:
+            converged = True
+            break
+    else:
+        converged = True  # finite iterable exhausted: nothing left to truncate
+    if not periods:
+        raise InvalidScheduleError("period source produced no usable periods")
+    if not converged:
+        raise InvalidScheduleError(
+            f"infinite schedule did not converge within {max_periods} periods"
+        )
+    return Schedule(periods)

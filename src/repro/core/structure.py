@@ -1,0 +1,99 @@
+"""Structural laws of optimal schedules (Section 5.2).
+
+Theorem 5.2: for an optimal schedule under a *concave* life function, every
+internal period is at least ``c`` longer than its successor
+(``t_{i+1} <= t_i - c``); under a *convex* life function, at most ``c`` longer
+(``t_{i+1} >= t_i - c``).  The uniform-risk scenario (both concave and convex)
+attains equality, showing the theorem is tight.
+
+Consequences verified here:
+
+* Corollary 5.1 — strictly decreasing periods (concave);
+* Corollary 5.2 — finiteness, with at most ``t_0 / c`` periods (concave);
+* Corollary 5.3 — ``m < ceil(sqrt(2L/c + 1/4) + 1/2)`` (concave, lifespan L);
+* the eq. (5.9) chain ``L >= m t_{m-1} + C(m,2) c`` used to prove it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import FloatArray
+from .schedule import Schedule
+from .t0_bounds import max_periods_bound
+
+__all__ = [
+    "period_decrements",
+    "satisfies_concave_decrements",
+    "satisfies_convex_decrements",
+    "StructureReport",
+    "verify_structure",
+]
+
+
+def period_decrements(schedule: Schedule) -> FloatArray:
+    """``t_i - t_{i+1}`` for consecutive periods (positive = shrinking)."""
+    return -np.diff(schedule.periods)
+
+
+def satisfies_concave_decrements(schedule: Schedule, c: float, tol: float = 1e-9) -> bool:
+    """Theorem 5.2, concave case: every ``t_{i+1} <= t_i - c`` (within ``tol``)."""
+    if schedule.num_periods < 2:
+        return True
+    return bool(np.all(period_decrements(schedule) >= c - tol))
+
+
+def satisfies_convex_decrements(schedule: Schedule, c: float, tol: float = 1e-9) -> bool:
+    """Theorem 5.2, convex case: every ``t_{i+1} >= t_i - c`` (within ``tol``)."""
+    if schedule.num_periods < 2:
+        return True
+    return bool(np.all(period_decrements(schedule) <= c + tol))
+
+
+@dataclass(frozen=True)
+class StructureReport:
+    """Outcome of checking a schedule against the Section 5 structural laws."""
+
+    num_periods: int
+    #: min / max of ``t_i - t_{i+1}``; NaN for single-period schedules.
+    min_decrement: float
+    max_decrement: float
+    concave_law_holds: bool
+    convex_law_holds: bool
+    strictly_decreasing: bool
+    #: Corollary 5.2: ``m <= t_0 / c``.
+    within_t0_over_c: bool
+    #: Corollary 5.3 (only meaningful with a finite lifespan): ``m < ceil(...)``.
+    within_cor53_bound: bool
+    cor53_bound: int
+
+
+def verify_structure(
+    schedule: Schedule, c: float, lifespan: float = math.inf, tol: float = 1e-9
+) -> StructureReport:
+    """Check all Section 5.2 laws at once (shape-agnostic report).
+
+    The caller decides which laws *should* hold from the life function's
+    shape; the report simply states which do.
+    """
+    decs = period_decrements(schedule)
+    has_pairs = decs.size > 0
+    cor53 = (
+        max_periods_bound(lifespan, c)
+        if (math.isfinite(lifespan) and c > 0)
+        else np.iinfo(np.int64).max
+    )
+    return StructureReport(
+        num_periods=schedule.num_periods,
+        min_decrement=float(decs.min()) if has_pairs else math.nan,
+        max_decrement=float(decs.max()) if has_pairs else math.nan,
+        concave_law_holds=satisfies_concave_decrements(schedule, c, tol),
+        convex_law_holds=satisfies_convex_decrements(schedule, c, tol),
+        strictly_decreasing=bool(np.all(decs > 0)) if has_pairs else True,
+        within_t0_over_c=(schedule.num_periods <= schedule[0] / c + tol) if c > 0 else True,
+        within_cor53_bound=schedule.num_periods < cor53,
+        cor53_bound=int(min(cor53, np.iinfo(np.int64).max)),
+    )

@@ -1,0 +1,326 @@
+"""Bounds on the optimal initial period length ``t_0`` (Sections 3.3, 4, 5).
+
+Determining ``t_0`` "remains an art" (Section 6): system (3.6) pins down every
+*non-initial* period from ``t_0``, but ``t_0`` itself is only bracketed.  The
+paper provides:
+
+* **Theorem 3.2** (any differentiable ``p``) — the implicit lower bound
+
+      t_0 >= sqrt(c²/4 - c p(t_0)/p'(t_0)) + c/2;                       (3.7)
+
+* **Theorem 3.3** (``t_0 > 2c``) — implicit upper bounds
+
+      t_0 <= 2 sqrt(c²/4 - c p(t_0)/p'(t_0))  + c     (convex p),      (3.13)
+      t_0 <= 2 sqrt(c²/4 - c p(t_0)/p'(t_0/2)) + c    (concave p);     (3.14)
+
+* **Section 4 closed forms** — explicit brackets for each studied family;
+* **Corollaries 5.3–5.5** (concave p with lifespan ``L``) — the period-count
+  bound ``m < ceil(sqrt(2L/c + 1/4) + 1/2)`` and the refinements
+  ``t_0 >= L/m + (m-1)c/2`` and ``t_0 > sqrt(cL/2) + 3c/4``.
+
+The implicit bounds are fixed-point inequalities ``t >= f(t)`` / ``t <= f(t)``;
+we report the extreme roots of ``t = f(t)``, located by a sign-change scan plus
+Brent refinement.  For the paper's monotone families the crossing is unique and
+the closed forms cross-check the generic solver (tested).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..exceptions import BracketError
+from ..types import Bracket
+from .life_functions import LifeFunction, Shape
+
+__all__ = [
+    "theorem_32_rhs",
+    "theorem_33_rhs",
+    "lower_bound_t0",
+    "upper_bound_t0",
+    "t0_bracket",
+    "uniform_bracket",
+    "polynomial_bracket",
+    "geometric_decreasing_bracket",
+    "geometric_increasing_window",
+    "max_periods_bound",
+    "t0_lower_bound_cor54",
+    "t0_lower_bound_cor55",
+]
+
+
+# ----------------------------------------------------------------------
+# The implicit bound functions
+# ----------------------------------------------------------------------
+
+
+def theorem_32_rhs(p: LifeFunction, c: float, t: float) -> float:
+    """``sqrt(c²/4 - c p(t)/p'(t)) + c/2`` — the RHS of inequality (3.7).
+
+    ``p' < 0`` on the interior, so the radicand is ``>= c²/4``.
+    """
+    dp = float(p.derivative(t))
+    if dp >= 0.0:
+        # Derivative vanishes only at support boundaries; the ratio p/p'
+        # diverges there, making the bound vacuous (infinite).
+        return math.inf
+    radicand = c * c / 4.0 - c * float(p(t)) / dp
+    return math.sqrt(radicand) + c / 2.0
+
+
+def theorem_33_rhs(p: LifeFunction, c: float, t: float, concave: bool) -> float:
+    """RHS of (3.13) (convex) or (3.14) (concave): ``2 sqrt(...) + c``.
+
+    The concave variant evaluates the derivative at ``t/2`` (the Mean-Value
+    Theorem point lands in ``(t_0/2, t_0)`` and concavity bounds ``p'`` there
+    by ``p'(t_0/2)``).
+    """
+    dp = float(p.derivative(t / 2.0 if concave else t))
+    if dp >= 0.0:
+        return math.inf
+    radicand = c * c / 4.0 - c * float(p(t)) / dp
+    return 2.0 * math.sqrt(radicand) + c
+
+
+# ----------------------------------------------------------------------
+# Root finding for the fixed-point inequalities
+# ----------------------------------------------------------------------
+
+
+def _probe_horizon(p: LifeFunction) -> float:
+    """Upper end of the search range: the lifespan, or a deep tail quantile."""
+    if math.isfinite(p.lifespan):
+        return p.lifespan
+    return float(p.inverse(1e-10))
+
+
+def _scan_roots(
+    g: Callable[[float], float],
+    lo: float,
+    hi: float,
+    n: int = 4096,
+    g_vec: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> list[float]:
+    """All roots of ``g`` located by sign changes on an ``n``-point grid.
+
+    ``g_vec``, when given, evaluates the grid in one vectorized call; Brent
+    refinement still uses the scalar ``g`` near each crossing.
+    """
+    ts = np.linspace(lo, hi, n)
+    if g_vec is not None:
+        with np.errstate(all="ignore"):
+            vals = np.asarray(g_vec(ts), dtype=float)
+    else:
+        vals = np.array([g(t) for t in ts])
+    finite = np.isfinite(vals)
+    roots: list[float] = []
+    pair_ok = finite[:-1] & finite[1:]
+    sign_change = pair_ok & (vals[:-1] * vals[1:] < 0.0)
+    exact_zero = finite & (vals == 0.0)
+    for i in np.nonzero(exact_zero[:-1])[0]:
+        roots.append(float(ts[i]))
+    for i in np.nonzero(sign_change)[0]:
+        if vals[i] == 0.0:
+            continue  # already recorded as an exact zero
+        roots.append(float(brentq(g, ts[i], ts[i + 1], xtol=1e-12, rtol=1e-12)))
+    if exact_zero[-1]:
+        roots.append(float(ts[-1]))
+    return sorted(roots)
+
+
+def lower_bound_t0(p: LifeFunction, c: float) -> float:
+    """Theorem 3.2's lower bound on the optimal ``t_0``, as a number.
+
+    Returns the smallest root of ``t = theorem_32_rhs(p, c, t)``: every ``t``
+    below it violates (3.7), so the optimal ``t_0`` cannot lie there.
+    """
+    if c < 0:
+        raise ValueError(f"overhead c must be nonnegative, got {c}")
+    if c == 0.0:
+        return 0.0
+    horizon = _probe_horizon(p)
+    eps = 1e-9 * horizon
+
+    def g(t: float) -> float:
+        return t - theorem_32_rhs(p, c, t)
+
+    def g_vec(ts: np.ndarray) -> np.ndarray:
+        dp = np.asarray(p.derivative(ts), dtype=float)
+        pv = np.asarray(p(ts), dtype=float)
+        rhs = np.where(
+            dp < 0.0, np.sqrt(c * c / 4.0 - c * pv / np.where(dp < 0, dp, -1.0)) + c / 2.0,
+            np.inf,
+        )
+        return ts - rhs
+
+    roots = _scan_roots(g, eps, horizon * (1.0 - 1e-12), g_vec=g_vec)
+    if not roots:
+        raise BracketError(
+            "Theorem 3.2 fixed point not found on the support; "
+            "the life function may violate the model assumptions"
+        )
+    return roots[0]
+
+
+def upper_bound_t0(p: LifeFunction, c: float, shape: Optional[Shape] = None) -> float:
+    """Theorem 3.3's upper bound on the optimal ``t_0``, as a number.
+
+    Uses (3.13) for convex ``p`` and (3.14) for concave ``p``; the declared
+    shape can be overridden with ``shape``.  The theorem applies to
+    ``t_0 > 2c``, so the returned bound is never below ``2c``.  If the
+    fixed-point equation has no root on the support (the inequality holds
+    everywhere), the bound degenerates to the horizon — for a finite lifespan,
+    ``L`` itself, which is always a valid upper bound on ``t_0``.
+
+    Raises
+    ------
+    ValueError
+        If the (effective) shape is ``GENERAL``: Theorem 3.3 needs convexity
+        or concavity.
+    """
+    if c < 0:
+        raise ValueError(f"overhead c must be nonnegative, got {c}")
+    effective = shape if shape is not None else p.shape
+    if effective is Shape.GENERAL:
+        raise ValueError(
+            "Theorem 3.3 requires a convex or concave life function; "
+            "got GENERAL shape (use detect_shape or pass shape explicitly)"
+        )
+    # For LINEAR (both convex and concave), the two RHS forms coincide since
+    # p' is constant; use the convex branch.
+    concave = effective is Shape.CONCAVE
+    horizon = _probe_horizon(p)
+    eps = 1e-9 * horizon
+
+    def g(t: float) -> float:
+        return t - theorem_33_rhs(p, c, t, concave=concave)
+
+    def g_vec(ts: np.ndarray) -> np.ndarray:
+        dp = np.asarray(p.derivative(ts / 2.0 if concave else ts), dtype=float)
+        pv = np.asarray(p(ts), dtype=float)
+        rhs = np.where(
+            dp < 0.0,
+            2.0 * np.sqrt(c * c / 4.0 - c * pv / np.where(dp < 0, dp, -1.0)) + c,
+            np.inf,
+        )
+        return ts - rhs
+
+    roots = _scan_roots(g, eps, horizon * (1.0 - 1e-12), g_vec=g_vec)
+    bound = max(roots) if roots else horizon
+    return max(bound, 2.0 * c)
+
+
+def t0_bracket(p: LifeFunction, c: float, shape: Optional[Shape] = None) -> Bracket:
+    """The Theorem 3.2 + 3.3 bracket on the optimal initial period length.
+
+    The paper: these bounds "substantially narrow one's search space for the
+    optimal t_0 ... but they usually still leave one with a factor-of-2
+    uncertainty".
+    """
+    lo = lower_bound_t0(p, c)
+    hi = upper_bound_t0(p, c, shape=shape)
+    if math.isfinite(p.lifespan):
+        hi = min(hi, p.lifespan)
+        lo = min(lo, hi)
+    return Bracket(lo, max(hi, lo))
+
+
+# ----------------------------------------------------------------------
+# Section 4 closed-form brackets
+# ----------------------------------------------------------------------
+
+
+def polynomial_bracket(d: int, lifespan: float, c: float) -> Bracket:
+    """Section 4.1's explicit bracket for ``p_{d,L}``:
+
+    ``(c/d)^{1/(d+1)} L^{d/(d+1)}  <=  t_0  <=  2 (c/d)^{1/(d+1)} L^{d/(d+1)} + 1``.
+    """
+    if d < 1:
+        raise ValueError(f"degree d must be >= 1, got {d}")
+    base = (c / d) ** (1.0 / (d + 1)) * lifespan ** (d / (d + 1.0))
+    return Bracket(base, 2.0 * base + 1.0)
+
+
+def uniform_bracket(lifespan: float, c: float) -> Bracket:
+    """Eq. (4.4): ``sqrt(cL) <= t_0 <= 2 sqrt(cL) + 1`` (uniform risk, d = 1).
+
+    Compare the true optimum (4.5): ``t_0 = sqrt(2cL) + low-order terms``.
+    """
+    return polynomial_bracket(1, lifespan, c)
+
+
+def geometric_decreasing_bracket(a: float, c: float) -> Bracket:
+    """Section 4.2's bracket: ``sqrt(c²/4 + c/ln a) + c/2 <= t_0 <= c + 1/ln a``.
+
+    The upper bound (from Lemma 3.1 / solvability of eq. 4.6) is remarkably
+    close to the true transcendental optimum ``t_0 + a^{-t_0}/ln a = c + 1/ln a``.
+    """
+    if a <= 1:
+        raise ValueError(f"risk factor a must exceed 1, got {a}")
+    ln_a = math.log(a)
+    lo = math.sqrt(c * c / 4.0 + c / ln_a) + c / 2.0
+    hi = c + 1.0 / ln_a
+    # For large c the generic lower bound can exceed the Lemma 3.1 ceiling;
+    # the bracket is then the point at the ceiling.
+    return Bracket(min(lo, hi), hi)
+
+
+def geometric_increasing_window(lifespan: float, c: float) -> Bracket:
+    """Section 4.3's asymptotic window: ``2^{t_0/2} t_0² <= 2^L <= 2^{t_0} t_0²``.
+
+    Taking base-2 logs: ``t_0 + 2 log2 t_0 >= L`` and ``t_0/2 + 2 log2 t_0 <= L``,
+    i.e. ``t_0`` lies between the roots of ``t + 2 log2 t = L`` (lower) and
+    ``t/2 + 2 log2 t = L`` (upper) — so ``t_0 = L - Θ(log L)``.  Stated "to
+    within low-order additive terms", so treat as an asymptotic guide, not a
+    hard bracket (the benches report both this window and the exact implicit
+    Theorem 3.2/3.3 bounds).
+    """
+    if lifespan <= 1.0:
+        raise ValueError(f"window requires L > 1, got {lifespan}")
+
+    def solve(coeff: float) -> float:
+        g = lambda t: coeff * t + 2.0 * math.log2(t) - lifespan
+        lo, hi = 1e-6, lifespan / coeff + 1.0
+        if g(lo) > 0:
+            return lo
+        return float(brentq(g, lo, hi, xtol=1e-12))
+
+    lower = solve(1.0)
+    upper = solve(0.5)
+    upper = min(upper, lifespan)
+    lower = min(lower, upper)
+    return Bracket(lower, upper)
+
+
+# ----------------------------------------------------------------------
+# Section 5 refinements (concave life functions)
+# ----------------------------------------------------------------------
+
+
+def max_periods_bound(lifespan: float, c: float) -> int:
+    """Corollary 5.3: an optimal schedule for a concave ``p`` with lifespan ``L``
+    has ``m < ceil(sqrt(2L/c + 1/4) + 1/2)`` periods.
+
+    Returns that ceiling; valid schedules have strictly fewer periods.  The
+    uniform-risk optimum attains the floor version (the bound is tight).
+    """
+    if lifespan <= 0 or c <= 0:
+        raise ValueError(f"need positive lifespan and overhead, got L={lifespan}, c={c}")
+    return int(math.ceil(math.sqrt(2.0 * lifespan / c + 0.25) + 0.5))
+
+
+def t0_lower_bound_cor54(lifespan: float, c: float, m: int) -> float:
+    """Corollary 5.4: for a concave ``p`` whose optimal schedule has ``m``
+    periods, ``t_0 >= L/m + (m-1) c / 2``."""
+    if m < 1:
+        raise ValueError(f"period count must be >= 1, got {m}")
+    return lifespan / m + (m - 1) * c / 2.0
+
+
+def t0_lower_bound_cor55(lifespan: float, c: float) -> float:
+    """Corollary 5.5 (left inequality): ``t_0 > sqrt(cL/2) + 3c/4`` for concave
+    ``p`` with lifespan ``L``."""
+    return math.sqrt(c * lifespan / 2.0) + 0.75 * c

@@ -1,0 +1,119 @@
+"""Numerical exploration of the uniqueness open question (Section 6).
+
+"Are optimal cycle-stealing schedules unique?  Significantly, Theorem 3.1
+gives a handle on this basic question, since it implies that distinct optimal
+schedules must have different *initial* period-lengths."
+
+That observation reduces uniqueness to a 1-D question: since the recurrence
+(3.6) propagates ``t_0`` deterministically, the set of candidate optima is
+``{S(t_0)}``, and multiple optima exist iff the map ``t_0 -> E(S(t_0); p)``
+attains its maximum at more than one point.  :func:`count_expected_work_peaks`
+scans that map for interior local maxima; :func:`is_unique_optimum_numerically`
+reports whether the global maximum is unique up to tolerance.
+
+For every Section 4 family the answer comes out unique (matching the paper's
+"each of the life functions studied in [3] admits a unique optimal
+schedule"); mixtures can produce genuinely multimodal E(t_0) landscapes,
+which is exactly the situation the open question worries about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import Bracket, FloatArray
+from .life_functions import LifeFunction
+from .recurrence import generate_schedule
+from .t0_bounds import lower_bound_t0
+
+__all__ = ["T0Landscape", "scan_t0_landscape", "count_expected_work_peaks",
+           "is_unique_optimum_numerically"]
+
+
+@dataclass(frozen=True)
+class T0Landscape:
+    """The sampled map ``t_0 -> E(S(t_0); p)`` over a search interval."""
+
+    t0_values: FloatArray
+    expected_work: FloatArray
+
+    @property
+    def argmax(self) -> float:
+        return float(self.t0_values[int(np.argmax(self.expected_work))])
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.expected_work))
+
+    def local_maxima(self, rel_tol: float = 1e-6) -> FloatArray:
+        """t0 values of strict interior local maxima of the sampled map."""
+        e = self.expected_work
+        scale = max(float(np.max(e)), 1e-300)
+        interior = np.arange(1, e.size - 1)
+        is_peak = (e[interior] >= e[interior - 1] + rel_tol * scale * 0) & (
+            e[interior] > e[interior - 1] - rel_tol * scale
+        )
+        # A robust peak: strictly above both neighbours beyond tolerance.
+        peaks = [
+            i
+            for i in interior
+            if e[i] > e[i - 1] + rel_tol * scale and e[i] > e[i + 1] + rel_tol * scale
+        ]
+        return self.t0_values[np.asarray(peaks, dtype=int)] if peaks else np.array([])
+
+
+def scan_t0_landscape(
+    p: LifeFunction,
+    c: float,
+    bracket: Bracket | None = None,
+    n_points: int = 513,
+    widen: float = 2.0,
+) -> T0Landscape:
+    """Sample ``E(S(t_0))`` on a grid over (a widened) t0 search interval."""
+    if bracket is None:
+        lo = max(lower_bound_t0(p, c) / widen, c * (1 + 1e-9))
+        hi_cap = p.lifespan if math.isfinite(p.lifespan) else float(p.inverse(1e-8))
+        hi = min(hi_cap * (1 - 1e-12), max(lo * widen * 4, lo * 1.01))
+    else:
+        lo = max(bracket.lo / widen, c * (1 + 1e-9))
+        hi = bracket.hi * widen
+        if math.isfinite(p.lifespan):
+            hi = min(hi, p.lifespan * (1 - 1e-12))
+    ts = np.linspace(lo, hi, n_points)
+    es = np.empty(n_points)
+    for i, t0 in enumerate(ts):
+        out = generate_schedule(p, c, float(t0))
+        es[i] = out.schedule.expected_work(p, c)
+    return T0Landscape(t0_values=ts, expected_work=es)
+
+
+def count_expected_work_peaks(
+    p: LifeFunction, c: float, n_points: int = 513, rel_tol: float = 1e-6
+) -> int:
+    """Number of interior local maxima of the t0 landscape."""
+    return int(scan_t0_landscape(p, c, n_points=n_points).local_maxima(rel_tol).size)
+
+
+def is_unique_optimum_numerically(
+    p: LifeFunction,
+    c: float,
+    n_points: int = 1025,
+    rel_tol: float = 1e-4,
+) -> bool:
+    """Whether the global maximum of the t0 landscape is attained once.
+
+    True when exactly one sampled local maximum comes within ``rel_tol``
+    (relative) of the global maximum.  A numerical *indication*, not a proof —
+    the open question stands; this is the experimental handle the paper
+    suggests.
+    """
+    landscape = scan_t0_landscape(p, c, n_points=n_points)
+    peaks_t0 = landscape.local_maxima(rel_tol=1e-9)
+    if peaks_t0.size == 0:
+        return True  # monotone landscape: the max sits at an endpoint, once
+    peak_values = np.interp(peaks_t0, landscape.t0_values, landscape.expected_work)
+    near_global = np.sum(peak_values >= landscape.max * (1 - rel_tol))
+    return bool(near_global <= 1)

@@ -1,0 +1,202 @@
+"""Worst-case (adversarial) analysis of cycle-stealing schedules.
+
+The paper's footnote 1 announces a sequel "focus[ing] on (nearly) optimizing
+a worst-case, rather than expected, measure of a cycle-stealing episode's
+work output."  This module implements the natural worst-case measures so the
+expected-work guidelines can be stress-tested against an adversary:
+
+* :func:`guaranteed_work` — work banked under the worst reclaim time within a
+  horizon (trivially 0 unless the adversary is constrained to let the episode
+  run at least ``tau``);
+* :func:`competitive_ratio` — the classic online measure: the infimum over
+  reclaim times ``R`` of ``work(S, R) / (R - c)`` (banked work versus what a
+  clairvoyant scheduler earns with one period ending just before ``R``);
+* :func:`optimize_competitive_schedule` — the best schedule in the geometric
+  family ``t_k = t_0 q^k``, the shape classical competitive analysis (and the
+  randomized strategy of [2]) points to.
+
+The adversary's power: it observes the schedule and reclaims at the worst
+moment — an infinitesimal instant *before* a period boundary, wiping that
+whole period.  Hence only the boundary-time limits matter, which makes the
+infimum computable exactly from the schedule's boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..exceptions import InvalidScheduleError
+from ..types import FloatArray
+from .schedule import Schedule
+
+__all__ = [
+    "guaranteed_work",
+    "competitive_ratio",
+    "CompetitiveResult",
+    "optimize_competitive_schedule",
+]
+
+
+def guaranteed_work(schedule: Schedule, c: float, min_episode: float) -> float:
+    """Work banked even under the worst reclaim time ``R >= min_episode``.
+
+    The adversary reclaims at the worst moment no earlier than
+    ``min_episode``; the infimum is attained in the limit approaching the
+    first boundary ``T_k >= min_episode`` (killing period ``k``), or at
+    ``min_episode`` itself if that lies strictly inside a period.
+    """
+    if min_episode < 0:
+        raise InvalidScheduleError(f"min_episode must be nonnegative, got {min_episode}")
+    cumulative = np.concatenate(([0.0], np.cumsum(schedule.work_per_period(c))))
+    boundaries = schedule.boundaries
+    # Worst admissible reclaim: the first boundary at or after min_episode
+    # (kill that period); if none, the adversary must let everything finish.
+    idx = int(np.searchsorted(boundaries, min_episode, side="left"))
+    if idx >= schedule.num_periods:
+        return float(cumulative[-1])
+    return float(cumulative[idx])
+
+
+def _worst_ratio(schedule: Schedule, c: float, min_episode: float) -> float:
+    """Infimum over R >= min_episode of work(S, R) / (R - c)."""
+    boundaries = schedule.boundaries
+    cumulative = np.concatenate(([0.0], np.cumsum(schedule.work_per_period(c))))
+    worst = math.inf
+    # Candidate adversary moves: just before each boundary T_k >= min_episode
+    # (banked = cumulative[k], omniscient ≈ T_k - c), and exactly at
+    # min_episode (banked = work of periods ending before it).
+    for k in range(schedule.num_periods):
+        r = float(boundaries[k])
+        if r < min_episode or r <= c:
+            continue
+        worst = min(worst, float(cumulative[k]) / (r - c))
+    if min_episode > c:
+        k0 = int(np.searchsorted(boundaries, min_episode, side="left"))
+        worst = min(worst, float(cumulative[k0]) / (min_episode - c))
+    # After the last boundary the ratio cumulative[-1]/(R - c) decreases in R
+    # without bound (the schedule has ended but the adversary can stay away);
+    # a finite-horizon episode caps R at the horizon.
+    return worst
+
+
+def competitive_ratio(
+    schedule: Schedule,
+    c: float,
+    min_episode: Optional[float] = None,
+    horizon: Optional[float] = None,
+) -> float:
+    """The schedule's competitive ratio against a clairvoyant scheduler.
+
+    ``inf_{min_episode <= R <= horizon} work(S, R) / (R - c)`` — how much of
+    the clairvoyant's single-period haul the schedule guarantees, whatever the
+    reclaim time.  ``min_episode`` defaults to the first boundary (otherwise
+    every schedule scores 0: the adversary reclaims immediately).  ``horizon``
+    defaults to the schedule's total length (beyond it the schedule banks
+    nothing more while the clairvoyant keeps earning).
+    """
+    if min_episode is None:
+        min_episode = float(schedule.boundaries[0]) * (1 + 1e-12)
+    if horizon is None:
+        horizon = schedule.total_length
+    if horizon <= min_episode:
+        raise InvalidScheduleError(
+            f"horizon {horizon} must exceed min_episode {min_episode}"
+        )
+    boundaries = schedule.boundaries
+    cumulative = np.concatenate(([0.0], np.cumsum(schedule.work_per_period(c))))
+    worst = math.inf
+    for k in range(schedule.num_periods):
+        r = float(boundaries[k])
+        if r <= max(min_episode, c) or r > horizon:
+            continue
+        worst = min(worst, float(cumulative[k]) / (r - c))
+    # Endpoint candidates.
+    for r in (min_episode, horizon):
+        if r > c:
+            k0 = int(np.searchsorted(boundaries, r, side="left"))
+            worst = min(worst, float(cumulative[k0]) / (r - c))
+    return worst
+
+
+@dataclass(frozen=True)
+class CompetitiveResult:
+    """A worst-case-optimized geometric schedule."""
+
+    schedule: Schedule
+    ratio: float
+    first_period: float
+    growth: float
+
+
+def optimize_competitive_schedule(
+    c: float,
+    horizon: float,
+    min_episode: Optional[float] = None,
+    max_periods: int = 64,
+) -> CompetitiveResult:
+    """Best geometric schedule ``t_k = t_0 q^k`` by competitive ratio.
+
+    Classical doubling intuition says geometric growth balances the adversary:
+    whatever period it kills, the banked prefix is a constant fraction of the
+    elapsed time.  We optimize ``(t_0, q)`` numerically (Nelder-Mead over a
+    log parameterization, multi-started) for the episode window
+    ``[min_episode, horizon]``.
+
+    The resulting ratios quantify the price of draconian preemption without
+    distributional knowledge — the counterpoint to the expected-work
+    guidelines, and the regime where [2]'s randomized strategy operates.
+    """
+    if min_episode is None:
+        min_episode = 4.0 * c
+    if min_episode <= c:
+        raise InvalidScheduleError(f"min_episode must exceed c, got {min_episode}")
+
+    def build(t0: float, q: float) -> Schedule:
+        periods = [t0]
+        total = t0
+        while total < horizon and len(periods) < max_periods:
+            nxt = periods[-1] * q
+            periods.append(nxt)
+            total += nxt
+        return Schedule(periods)
+
+    def neg_ratio(x: FloatArray) -> float:
+        t0 = math.exp(x[0])
+        q = 1.0 + math.exp(x[1])
+        if t0 <= c * 1.0001:
+            return 0.0
+        try:
+            s = build(t0, q)
+            return -competitive_ratio(s, c, min_episode=min_episode, horizon=horizon)
+        except InvalidScheduleError:
+            return 0.0
+
+    best_x = None
+    best_val = 0.0
+    for t0_guess in (min_episode * 0.5, min_episode, 2.0 * min_episode):
+        for q_guess in (1.3, 2.0, 3.0):
+            x0 = np.array([math.log(max(t0_guess, 1.5 * c)), math.log(q_guess - 1.0)])
+            res = minimize(neg_ratio, x0, method="Nelder-Mead",
+                           options={"maxiter": 400, "xatol": 1e-6, "fatol": 1e-10})
+            if -res.fun > best_val:
+                best_val = -res.fun
+                best_x = res.x
+    if best_x is None:
+        raise InvalidScheduleError(
+            f"no geometric schedule achieves a positive ratio for c={c}, "
+            f"horizon={horizon}"
+        )
+    t0 = math.exp(best_x[0])
+    q = 1.0 + math.exp(best_x[1])
+    schedule = build(t0, q)
+    return CompetitiveResult(
+        schedule=schedule,
+        ratio=competitive_ratio(schedule, c, min_episode=min_episode, horizon=horizon),
+        first_period=t0,
+        growth=q,
+    )

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the cycle-stealing reproduction library.
+
+All library-raised errors derive from :class:`CycleStealingError` so callers can
+catch the library's failures without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class CycleStealingError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidScheduleError(CycleStealingError):
+    """A schedule violates a structural requirement (e.g. non-positive period)."""
+
+
+class InvalidLifeFunctionError(CycleStealingError):
+    """A life function violates the model requirements of Section 2.1.
+
+    Life functions must satisfy ``p(0) == 1``, be non-increasing, and tend to 0
+    (at the lifespan bound L when one exists, or in the limit otherwise).
+    """
+
+
+class SupportError(CycleStealingError):
+    """A time value lies outside the life function's support ``[0, L]``."""
+
+
+class RecurrenceTerminated(CycleStealingError):
+    """The Corollary 3.1 recurrence cannot be continued from the current state.
+
+    Raised internally when the recurrence target falls outside the range of the
+    life function (the schedule must end); public generators catch this and
+    finalize the schedule instead of propagating.
+    """
+
+
+class NoOptimalScheduleError(CycleStealingError):
+    """The life function admits no optimal schedule (Corollary 3.2 test failed)."""
+
+
+class ConvergenceError(CycleStealingError):
+    """A numerical routine (root find, NLP, fixed point) failed to converge."""
+
+
+class BracketError(ConvergenceError):
+    """A root-bracketing search could not locate a sign change."""
+
+
+class SimulationError(CycleStealingError):
+    """The discrete-event or Monte-Carlo simulator reached an invalid state."""
+
+
+class WorkloadError(CycleStealingError):
+    """A data-parallel workload specification is invalid or exhausted."""
+
+
+class TraceError(CycleStealingError):
+    """An owner-usage trace is malformed or insufficient for estimation."""
+
+
+class FittingError(CycleStealingError):
+    """Life-function fitting from trace data failed."""

@@ -1,0 +1,104 @@
+"""JSON (de)serialization of schedules and guideline results.
+
+A scheduling library's outputs get stored, shipped to dispatchers, and
+compared across runs; this module provides a stable, versioned JSON format
+for :class:`~repro.core.schedule.Schedule` and
+:class:`~repro.core.guidelines.GuidelineResult`, with exact float round-trip
+(`repr`-precision decimals).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core.guidelines import GuidelineResult
+from .core.recurrence import Termination
+from .core.schedule import Schedule
+from .exceptions import CycleStealingError
+from .types import Bracket
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "guideline_result_to_dict",
+    "guideline_result_from_dict",
+    "dumps",
+    "loads",
+]
+
+_FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """A JSON-ready representation of a schedule."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "schedule",
+        "periods": [float(t) for t in schedule.periods],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Rebuild a schedule; raises on unknown format versions."""
+    _check(data, "schedule")
+    return Schedule(data["periods"])
+
+
+def guideline_result_to_dict(result: GuidelineResult) -> dict[str, Any]:
+    """A JSON-ready representation of a guideline result (full provenance)."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "guideline_result",
+        "periods": [float(t) for t in result.schedule.periods],
+        "expected_work": result.expected_work,
+        "t0": result.t0,
+        "bracket": [result.bracket.lo, result.bracket.hi],
+        "termination": result.termination.value,
+        "t0_strategy": result.t0_strategy,
+    }
+
+
+def guideline_result_from_dict(data: dict[str, Any]) -> GuidelineResult:
+    """Rebuild a guideline result."""
+    _check(data, "guideline_result")
+    return GuidelineResult(
+        schedule=Schedule(data["periods"]),
+        expected_work=float(data["expected_work"]),
+        t0=float(data["t0"]),
+        bracket=Bracket(float(data["bracket"][0]), float(data["bracket"][1])),
+        termination=Termination(data["termination"]),
+        t0_strategy=str(data["t0_strategy"]),
+    )
+
+
+def _check(data: dict[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise CycleStealingError(
+            f"expected serialized kind {kind!r}, got {data.get('kind')!r}"
+        )
+    if data.get("format") != _FORMAT_VERSION:
+        raise CycleStealingError(
+            f"unsupported format version {data.get('format')!r} "
+            f"(this library reads version {_FORMAT_VERSION})"
+        )
+
+
+def dumps(obj: Schedule | GuidelineResult, indent: int | None = None) -> str:
+    """Serialize a schedule or guideline result to a JSON string."""
+    if isinstance(obj, Schedule):
+        return json.dumps(schedule_to_dict(obj), indent=indent)
+    if isinstance(obj, GuidelineResult):
+        return json.dumps(guideline_result_to_dict(obj), indent=indent)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text: str) -> Schedule | GuidelineResult:
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind == "schedule":
+        return schedule_from_dict(data)
+    if kind == "guideline_result":
+        return guideline_result_from_dict(data)
+    raise CycleStealingError(f"unknown serialized kind {kind!r}")

@@ -1,0 +1,24 @@
+"""The network-of-workstations substrate: owners, workstations, the
+discrete-event task farm, and the checkpointing analogue of [7]."""
+
+from .allocation import StationProfile, episode_value, select_stations, steal_rate
+from .checkpointing import CheckpointRun, save_schedule, simulate_fault_prone_job
+from .farm import FarmResult, WorkstationStats, run_farm
+from .network import Network, Workstation
+from .owner import OwnerProcess
+
+__all__ = [
+    "OwnerProcess",
+    "Workstation",
+    "Network",
+    "run_farm",
+    "FarmResult",
+    "WorkstationStats",
+    "save_schedule",
+    "simulate_fault_prone_job",
+    "CheckpointRun",
+    "StationProfile",
+    "episode_value",
+    "steal_rate",
+    "select_stations",
+]

@@ -1,0 +1,253 @@
+"""Discrete-event simulation of a data-parallel task farm over a NOW.
+
+The master (workstation A) owns a :class:`~repro.workloads.TaskPool` and
+steals cycles from every workstation in the network.  When an owner leaves,
+the master starts an episode: it repeatedly asks the workstation's policy for
+the next period length, packs a FIFO task bundle into it, and dispatches.
+A period that completes before the owner returns commits its bundle; the
+owner's return instantly kills the in-flight period — its tasks go back to
+the pool and its work is lost (the draconian contract of Section 1).
+
+Event ordering implements the paper's accounting exactly: a reclaim at the
+same instant a period ends *kills* the period ("if B is reclaimed **by** time
+T_k"), so owner events carry higher priority than period completions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..baselines.policies import EpisodeInfo, Policy
+from ..core.life_functions import LifeFunction
+from ..exceptions import SimulationError
+from ..workloads.packing import PackedPeriod, pack_period
+from ..workloads.tasks import TaskPool
+from .network import Network, Workstation
+
+__all__ = ["WorkstationStats", "FarmResult", "run_farm"]
+
+# Event kinds, in tie-breaking priority order (lower wins at equal times).
+_OWNER_RETURNS = 0
+_OWNER_LEAVES = 1
+_PERIOD_ENDS = 2
+
+
+@dataclass
+class WorkstationStats:
+    """Per-workstation accounting for one farm run."""
+
+    ws_id: int
+    episodes: int = 0
+    periods_committed: int = 0
+    periods_killed: int = 0
+    tasks_completed: int = 0
+    work_done: float = 0.0
+    work_lost: float = 0.0
+    overhead_paid: float = 0.0
+    #: Absent time during which the master had nothing (or declined) to send.
+    idle_absent_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class FarmResult:
+    """Outcome of a farm run."""
+
+    stats: dict[int, WorkstationStats]
+    tasks_total: int
+    tasks_completed: int
+    #: Time the last task committed, or NaN if the workload never finished.
+    completion_time: float
+    horizon: float
+    events_processed: int
+
+    @property
+    def finished(self) -> bool:
+        return self.tasks_completed == self.tasks_total
+
+    @property
+    def total_work_done(self) -> float:
+        return float(sum(s.work_done for s in self.stats.values()))
+
+    @property
+    def total_work_lost(self) -> float:
+        return float(sum(s.work_lost for s in self.stats.values()))
+
+    @property
+    def total_overhead(self) -> float:
+        return float(sum(s.overhead_paid for s in self.stats.values()))
+
+    @property
+    def goodput(self) -> float:
+        """Committed work per unit of horizon time, summed over workstations."""
+        return self.total_work_done / self.horizon if self.horizon > 0 else 0.0
+
+
+@dataclass
+class _WsState:
+    ws: Workstation
+    policy: Policy
+    stats: WorkstationStats
+    absent: bool = False
+    reclaim_at: float = math.inf
+    episode_started_at: float = 0.0
+    in_flight: Optional[PackedPeriod] = None
+    period_epoch: int = 0  # invalidates stale period_end events
+
+
+def run_farm(
+    network: Network,
+    pool: TaskPool,
+    policy_factory: Callable[[Workstation], Policy],
+    horizon: float,
+    rng: np.random.Generator,
+    life_estimates: Optional[dict[int, LifeFunction]] = None,
+    start_absent: bool = False,
+) -> FarmResult:
+    """Simulate the farm until the horizon, or until the workload completes.
+
+    Parameters
+    ----------
+    network:
+        The workstations and the per-period overhead ``c``.
+    pool:
+        Shared task pool (mutated in place: completed tasks move to
+        ``pool.completed``).
+    policy_factory:
+        Builds one policy instance per workstation (policies are stateful).
+    horizon:
+        Simulated wall-clock limit.
+    rng:
+        Source of owner presence/absence randomness.
+    life_estimates:
+        Per-workstation life functions handed to policies via
+        :class:`EpisodeInfo`; defaults to each owner's ``true_life``.
+    start_absent:
+        Start every owner absent (an immediate opportunity) instead of
+        present — convenient for single-episode experiments.
+    """
+    if horizon <= 0:
+        raise SimulationError(f"horizon must be positive, got {horizon}")
+    tasks_total = pool.pending_count
+    c = network.c
+
+    counter = itertools.count()
+    heap: list[tuple[float, int, int, int, int]] = []  # (time, prio, seq, ws_id, epoch)
+
+    def push(time: float, prio: int, ws_id: int, epoch: int = 0) -> None:
+        heapq.heappush(heap, (time, prio, next(counter), ws_id, epoch))
+
+    states: dict[int, _WsState] = {}
+    for ws in network.workstations:
+        policy = policy_factory(ws)
+        state = _WsState(ws=ws, policy=policy, stats=WorkstationStats(ws.ws_id))
+        states[ws.ws_id] = state
+        if start_absent:
+            push(0.0, _OWNER_LEAVES, ws.ws_id)
+        else:
+            push(ws.owner.next_present(rng), _OWNER_LEAVES, ws.ws_id)
+
+    completion_time = math.nan
+    events = 0
+
+    def dispatch(state: _WsState, now: float) -> None:
+        """Try to send the next period to an absent workstation."""
+        if pool.exhausted:
+            state.stats.idle_absent_time += max(0.0, min(state.reclaim_at, horizon) - now)
+            return
+        elapsed = now - state.episode_started_at
+        planned = state.policy.next_period(elapsed)
+        if planned is None or planned <= c:
+            state.stats.idle_absent_time += max(0.0, min(state.reclaim_at, horizon) - now)
+            return
+        budget = (planned - c) * state.ws.speed
+        bundle = pack_period(pool, c + budget, c)
+        if bundle.empty:
+            state.stats.idle_absent_time += max(0.0, min(state.reclaim_at, horizon) - now)
+            return
+        wall = c + bundle.work / state.ws.speed
+        state.in_flight = bundle
+        state.period_epoch += 1
+        push(now + wall, _PERIOD_ENDS, state.ws.ws_id, state.period_epoch)
+
+    def kill_in_flight(state: _WsState) -> None:
+        bundle = state.in_flight
+        if bundle is None:
+            return
+        pool.restore(list(bundle.tasks))
+        state.stats.periods_killed += 1
+        state.stats.work_lost += bundle.work
+        state.stats.overhead_paid += bundle.overhead
+        state.in_flight = None
+        state.period_epoch += 1  # invalidate the pending period_end event
+
+    def teardown() -> None:
+        """Return tasks still in flight when the run ends (horizon cut)."""
+        for state in states.values():
+            bundle = state.in_flight
+            if bundle is not None:
+                pool.restore(list(bundle.tasks))
+                state.in_flight = None
+                state.period_epoch += 1
+
+    while heap:
+        time, prio, _seq, ws_id, epoch = heapq.heappop(heap)
+        if time > horizon:
+            break
+        events += 1
+        state = states[ws_id]
+
+        if prio == _OWNER_LEAVES:
+            absence = state.ws.owner.next_absent(rng)
+            state.absent = True
+            state.reclaim_at = time + absence
+            state.episode_started_at = time
+            state.stats.episodes += 1
+            life = None
+            if life_estimates is not None:
+                life = life_estimates.get(ws_id)
+            elif state.ws.owner.true_life is not None:
+                life = state.ws.owner.true_life
+            state.policy.start_episode(
+                EpisodeInfo(c=c, life=life, reclaim_time=absence)
+            )
+            push(state.reclaim_at, _OWNER_RETURNS, ws_id)
+            dispatch(state, time)
+
+        elif prio == _OWNER_RETURNS:
+            kill_in_flight(state)
+            state.absent = False
+            state.reclaim_at = math.inf
+            push(time + state.ws.owner.next_present(rng), _OWNER_LEAVES, ws_id)
+
+        else:  # _PERIOD_ENDS
+            if epoch != state.period_epoch or state.in_flight is None:
+                continue  # stale event from a killed period
+            bundle = state.in_flight
+            state.in_flight = None
+            pool.commit(bundle.tasks)
+            state.stats.periods_committed += 1
+            state.stats.tasks_completed += len(bundle.tasks)
+            state.stats.work_done += bundle.work
+            state.stats.overhead_paid += bundle.overhead
+            if pool.exhausted and math.isnan(completion_time):
+                no_inflight = all(s.in_flight is None for s in states.values())
+                if no_inflight:
+                    completion_time = time
+                    break
+            dispatch(state, time)
+
+    teardown()
+    return FarmResult(
+        stats={ws_id: s.stats for ws_id, s in states.items()},
+        tasks_total=tasks_total,
+        tasks_completed=sum(s.stats.tasks_completed for s in states.values()),
+        completion_time=completion_time,
+        horizon=horizon,
+        events_processed=events,
+    )

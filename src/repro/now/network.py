@@ -1,0 +1,57 @@
+"""Workstations and networks of workstations.
+
+The model is "architecture-independent" in the sense of [9] (Section 2.1):
+inter-workstation communication is characterized by the single overhead
+parameter ``c`` — the combined cost of initiating the send-work and
+return-results communications.  Task time already includes marginal data
+transmission, so ``c`` is independent of data sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulationError
+from .owner import OwnerProcess
+
+__all__ = ["Workstation", "Network"]
+
+
+@dataclass
+class Workstation:
+    """One borrowable workstation.
+
+    ``speed`` scales task execution (a task of duration ``d`` takes ``d /
+    speed`` wall-clock here); the communication overhead is a property of the
+    network, not the workstation.
+    """
+
+    ws_id: int
+    owner: OwnerProcess
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise SimulationError(f"workstation {self.ws_id} has non-positive speed")
+
+
+@dataclass
+class Network:
+    """A NOW: the borrowable workstations plus the communication overhead."""
+
+    workstations: list[Workstation]
+    #: Combined setup cost of supplying work and retrieving results (the
+    #: paper's ``c``), charged once per period.
+    c: float
+
+    def __post_init__(self) -> None:
+        if not self.workstations:
+            raise SimulationError("a network needs at least one workstation")
+        if self.c < 0:
+            raise SimulationError(f"overhead c must be nonnegative, got {self.c}")
+        ids = [w.ws_id for w in self.workstations]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(f"workstation ids must be unique, got {ids}")
+
+    def __len__(self) -> int:
+        return len(self.workstations)

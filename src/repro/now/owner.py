@@ -1,0 +1,68 @@
+"""Owner presence processes for the NOW simulator.
+
+Each workstation has an owner who alternates *present* (workstation
+unavailable) and *absent* (a cycle-stealing opportunity) intervals.  The
+draconian contract of Section 1: the instant the owner returns, all work in
+progress is killed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.life_functions import LifeFunction
+from ..traces.synthetic import DurationSampler, life_function_sampler
+
+__all__ = ["OwnerProcess"]
+
+
+@dataclass
+class OwnerProcess:
+    """An alternating-renewal owner: i.i.d. present and absent durations.
+
+    ``true_life`` optionally records the life function the absence durations
+    are drawn from; the farm hands it (or a fitted estimate) to policies as
+    their risk model.
+    """
+
+    present_sampler: DurationSampler
+    absent_sampler: DurationSampler
+    true_life: Optional[LifeFunction] = None
+    _present_buf: list = field(default_factory=list, repr=False)
+    _absent_buf: list = field(default_factory=list, repr=False)
+
+    @classmethod
+    def from_life_function(
+        cls,
+        p: LifeFunction,
+        present_mean: float,
+        rng_block: int = 256,
+    ) -> "OwnerProcess":
+        """Owner whose absences follow life function ``p`` exactly,
+        with exponential presence intervals of the given mean."""
+        if present_mean <= 0:
+            raise ValueError(f"present_mean must be positive, got {present_mean}")
+
+        def present(rng: np.random.Generator, size: int):
+            return rng.exponential(present_mean, size=size)
+
+        return cls(
+            present_sampler=present,
+            absent_sampler=life_function_sampler(p),
+            true_life=p,
+        )
+
+    def next_present(self, rng: np.random.Generator) -> float:
+        """Draw the next presence duration (buffered for speed)."""
+        if not self._present_buf:
+            self._present_buf = list(self.present_sampler(rng, 256))
+        return max(float(self._present_buf.pop()), 1e-12)
+
+    def next_absent(self, rng: np.random.Generator) -> float:
+        """Draw the next absence duration (one cycle-stealing opportunity)."""
+        if not self._absent_buf:
+            self._absent_buf = list(self.absent_sampler(rng, 256))
+        return max(float(self._absent_buf.pop()), 1e-12)

@@ -1,0 +1,23 @@
+"""Episode-level simulation: Monte-Carlo validation of the model semantics.
+
+Exports batched episode simulation (Section 2.1 accounting), Monte-Carlo
+expected-work estimation with confidence intervals, and the discrete
+task-grid quantization analysis of Section 6's open question.
+"""
+
+from .discrete import DiscretizationReport, discretization_report, discretize_schedule
+from .episode import EpisodeBatch, completed_periods, realized_work, simulate_episodes
+from .monte_carlo import MCEstimate, estimate_expected_work, estimate_policy_work
+
+__all__ = [
+    "EpisodeBatch",
+    "completed_periods",
+    "realized_work",
+    "simulate_episodes",
+    "MCEstimate",
+    "estimate_expected_work",
+    "estimate_policy_work",
+    "DiscretizationReport",
+    "discretization_report",
+    "discretize_schedule",
+]

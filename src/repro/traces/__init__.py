@@ -1,0 +1,54 @@
+"""Owner-usage traces: synthesis, survival estimation, fitting, smoothing.
+
+The trace → life-function pipeline the paper sketches in Section 1:
+record absence durations, estimate their survival function, and encapsulate
+it in a smooth curve the guidelines can consume.
+"""
+
+from .fitting import (
+    FitResult,
+    fit_best,
+    fit_geometric_decreasing,
+    fit_geometric_increasing,
+    fit_polynomial,
+    fit_uniform,
+    fit_weibull,
+    ks_distance,
+)
+from .markov import MarkovOwnerModel, markov_trace
+from .smoothing import SmoothedLifeFunction, smooth_survival
+from .survival import SurvivalCurve, ecdf_survival, kaplan_meier
+from .synthetic import (
+    DurationSampler,
+    OwnerTrace,
+    diurnal_trace,
+    exponential_sampler,
+    generate_trace,
+    life_function_sampler,
+    lognormal_sampler,
+)
+
+__all__ = [
+    "OwnerTrace",
+    "DurationSampler",
+    "generate_trace",
+    "diurnal_trace",
+    "life_function_sampler",
+    "exponential_sampler",
+    "lognormal_sampler",
+    "SurvivalCurve",
+    "kaplan_meier",
+    "ecdf_survival",
+    "FitResult",
+    "fit_best",
+    "fit_uniform",
+    "fit_polynomial",
+    "fit_geometric_decreasing",
+    "fit_geometric_increasing",
+    "fit_weibull",
+    "ks_distance",
+    "SmoothedLifeFunction",
+    "smooth_survival",
+    "MarkovOwnerModel",
+    "markov_trace",
+]

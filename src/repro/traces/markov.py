@@ -1,0 +1,119 @@
+"""Markov-modulated owner behaviour.
+
+Real owners are not renewal processes: a professor in "teaching week" mode
+produces short absences for days, then a "conference" state produces week-long
+ones.  This module models the owner as a discrete-state Markov chain —  one
+transition per presence/absence cycle — with state-specific presence and
+absence duration samplers.
+
+The induced *marginal* absence distribution is the stationary mixture of the
+per-state distributions, so the paper's machinery applies with a
+:class:`~repro.core.life_functions.MixtureLife`; but consecutive absences are
+*correlated*, which is exactly what the progressive (conditional) scheduler
+can exploit and the plain guideline cannot.  Experiment material for the
+"approximate knowledge" story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import TraceError
+from ..types import FloatArray
+from .synthetic import DurationSampler, OwnerTrace
+
+__all__ = ["MarkovOwnerModel", "markov_trace"]
+
+
+@dataclass(frozen=True)
+class MarkovOwnerModel:
+    """A state-modulated owner.
+
+    ``transition[i, j]`` is the probability of moving from state ``i`` to
+    ``j`` at the end of each presence/absence cycle; samplers are indexed by
+    state.
+    """
+
+    transition: FloatArray
+    present_samplers: Sequence[DurationSampler]
+    absent_samplers: Sequence[DurationSampler]
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.transition, dtype=float)
+        if t.ndim != 2 or t.shape[0] != t.shape[1]:
+            raise TraceError(f"transition must be square, got shape {t.shape}")
+        n = t.shape[0]
+        if len(self.present_samplers) != n or len(self.absent_samplers) != n:
+            raise TraceError("need one present and one absent sampler per state")
+        if np.any(t < 0) or not np.allclose(t.sum(axis=1), 1.0, atol=1e-9):
+            raise TraceError("transition rows must be nonnegative and sum to 1")
+
+    @property
+    def n_states(self) -> int:
+        return int(np.asarray(self.transition).shape[0])
+
+    def stationary(self) -> FloatArray:
+        """Stationary distribution of the cycle-level chain (left eigenvector)."""
+        t = np.asarray(self.transition, dtype=float)
+        values, vectors = np.linalg.eig(t.T)
+        idx = int(np.argmin(np.abs(values - 1.0)))
+        pi = np.real(vectors[:, idx])
+        pi = np.abs(pi)
+        return pi / pi.sum()
+
+
+def markov_trace(
+    rng: np.random.Generator,
+    horizon: float,
+    model: MarkovOwnerModel,
+    start_state: int = 0,
+    start_present: bool = True,
+) -> tuple[OwnerTrace, np.ndarray]:
+    """Simulate a Markov-modulated owner over ``[0, horizon]``.
+
+    Returns the trace plus the state active during each *completed* absence
+    (aligned with ``trace.absences``) — ground truth for evaluating
+    state-aware schedulers.
+    """
+    if horizon <= 0:
+        raise TraceError(f"horizon must be positive, got {horizon}")
+    if not 0 <= start_state < model.n_states:
+        raise TraceError(f"start_state {start_state} out of range")
+    transition = np.asarray(model.transition, dtype=float)
+    absences: list[float] = []
+    presences: list[float] = []
+    censored: list[float] = []
+    states: list[int] = []
+    t = 0.0
+    state = start_state
+    present = start_present
+    while t < horizon:
+        if present:
+            d = float(model.present_samplers[state](rng, 1)[0])
+            if d <= 0:
+                raise TraceError("present sampler produced a non-positive duration")
+            presences.append(min(d, horizon - t))
+            t += d
+            present = False
+        else:
+            d = float(model.absent_samplers[state](rng, 1)[0])
+            if d <= 0:
+                raise TraceError("absent sampler produced a non-positive duration")
+            if t + d <= horizon:
+                absences.append(d)
+                states.append(state)
+            else:
+                censored.append(horizon - t)
+            t += d
+            present = True
+            state = int(rng.choice(model.n_states, p=transition[state]))
+    trace = OwnerTrace(
+        absences=np.asarray(absences, dtype=float),
+        presences=np.asarray(presences, dtype=float),
+        censored_absences=np.asarray(censored, dtype=float),
+        horizon=horizon,
+    )
+    return trace, np.asarray(states, dtype=int)

@@ -1,0 +1,128 @@
+"""Empirical survival estimation from absence durations.
+
+The bridge from trace data to the paper's life functions: estimate
+``p(t) = P(absence > t)`` from observed (possibly right-censored) absence
+durations.  The Kaplan-Meier product-limit estimator handles censoring —
+absences still in progress when recording stopped contribute partial
+information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import TraceError
+from ..types import FloatArray
+
+__all__ = ["SurvivalCurve", "kaplan_meier", "ecdf_survival"]
+
+
+@dataclass(frozen=True)
+class SurvivalCurve:
+    """A right-continuous step estimate of a survival function.
+
+    ``times`` are the (sorted, unique) event times; ``survival[i]`` is the
+    estimated ``P(D > times[i])``.  ``survival`` starts below 1 (the curve
+    implicitly equals 1 on ``[0, times[0])``).
+    """
+
+    times: FloatArray
+    survival: FloatArray
+    n_observations: int
+    n_censored: int
+
+    def __post_init__(self) -> None:
+        if self.times.size != self.survival.size:
+            raise TraceError("times and survival must have equal length")
+        if self.times.size and (
+            np.any(np.diff(self.times) <= 0)
+            or np.any(np.diff(self.survival) > 1e-12)
+        ):
+            raise TraceError("times must increase and survival must not")
+
+    def evaluate(self, t: FloatArray) -> FloatArray:
+        """Step-function evaluation ``P(D > t)`` (vectorized).
+
+        Right-continuous: at an event time the step has already happened
+        (``P(D > t)`` counts only durations strictly greater than ``t``).
+        """
+        arr = np.asarray(t, dtype=float)
+        idx = np.searchsorted(self.times, arr, side="right")
+        padded = np.concatenate(([1.0], self.survival))
+        out = padded[idx]
+        return float(out) if np.ndim(t) == 0 else out
+
+    @property
+    def support_end(self) -> float:
+        """The largest observed time (where the estimate stops)."""
+        return float(self.times[-1]) if self.times.size else 0.0
+
+
+def kaplan_meier(
+    durations: FloatArray, censored: Optional[FloatArray] = None
+) -> SurvivalCurve:
+    """Kaplan-Meier product-limit estimator of the absence survival function.
+
+    Parameters
+    ----------
+    durations:
+        Completed absence durations (events).
+    censored:
+        Right-censored durations (absences whose end was not observed).
+
+    Notes
+    -----
+    With no censoring this reduces exactly to the empirical survival function
+    (tested against :func:`ecdf_survival`).
+    """
+    events = np.asarray(durations, dtype=float)
+    cens = np.asarray(censored, dtype=float) if censored is not None else np.array([])
+    if events.size == 0:
+        raise TraceError("Kaplan-Meier needs at least one completed duration")
+    if np.any(events <= 0) or (cens.size and np.any(cens <= 0)):
+        raise TraceError("durations must be positive")
+
+    all_times = np.concatenate([events, cens])
+    is_event = np.concatenate([np.ones(events.size, bool), np.zeros(cens.size, bool)])
+    order = np.argsort(all_times, kind="stable")
+    all_times = all_times[order]
+    is_event = is_event[order]
+
+    unique_times, first_idx = np.unique(all_times, return_index=True)
+    n = all_times.size
+    # at_risk[j]: subjects with duration >= unique_times[j]
+    at_risk = n - first_idx
+    deaths = np.zeros(unique_times.size)
+    np.add.at(deaths, np.searchsorted(unique_times, all_times[is_event]), 1.0)
+
+    with np.errstate(invalid="ignore"):
+        factors = 1.0 - deaths / at_risk
+    survival = np.cumprod(factors)
+
+    event_mask = deaths > 0
+    return SurvivalCurve(
+        times=unique_times[event_mask],
+        survival=np.minimum.accumulate(survival[event_mask]),
+        n_observations=int(n),
+        n_censored=int(cens.size),
+    )
+
+
+def ecdf_survival(durations: FloatArray) -> SurvivalCurve:
+    """Plain empirical survival ``1 - ECDF`` (no censoring)."""
+    events = np.asarray(durations, dtype=float)
+    if events.size == 0:
+        raise TraceError("empirical survival needs at least one duration")
+    if np.any(events <= 0):
+        raise TraceError("durations must be positive")
+    unique_times, counts = np.unique(events, return_counts=True)
+    remaining = events.size - np.cumsum(counts)
+    return SurvivalCurve(
+        times=unique_times,
+        survival=remaining / events.size,
+        n_observations=int(events.size),
+        n_censored=0,
+    )

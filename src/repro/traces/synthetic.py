@@ -1,0 +1,205 @@
+"""Synthetic owner-usage traces.
+
+The paper assumes the instantaneous reclaim probability is known, "garnered
+possibly from trace data that exposes B's owner's computer usage patterns"
+(Section 1).  Real traces are proprietary; this module generates synthetic
+ones whose *absence-duration* distributions are exactly the paper's life
+functions (or mixtures thereof), so the full pipeline — trace → survival
+estimate → smooth fit → guideline schedule — can be exercised end to end
+(experiment EV-TRACE).
+
+A trace is an alternating sequence of *present* and *absent* intervals.  Each
+absent interval is one cycle-stealing opportunity; its duration is the
+episode's reclaim time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.life_functions import LifeFunction
+from ..exceptions import TraceError
+from ..types import FloatArray
+
+__all__ = [
+    "OwnerTrace",
+    "DurationSampler",
+    "life_function_sampler",
+    "exponential_sampler",
+    "lognormal_sampler",
+    "generate_trace",
+    "diurnal_trace",
+]
+
+#: A sampler draws ``size`` i.i.d. durations given a generator.
+DurationSampler = Callable[[np.random.Generator, int], FloatArray]
+
+
+@dataclass(frozen=True)
+class OwnerTrace:
+    """An owner's recorded presence/absence history.
+
+    ``absences`` holds completed absence durations; ``censored_absences``
+    holds absences still in progress when recording stopped (right-censored
+    observations for the Kaplan-Meier estimator).
+    """
+
+    absences: FloatArray
+    presences: FloatArray
+    censored_absences: FloatArray
+    horizon: float
+
+    def __post_init__(self) -> None:
+        for name in ("absences", "presences", "censored_absences"):
+            arr = getattr(self, name)
+            if arr.size and np.any(arr <= 0):
+                raise TraceError(f"{name} must contain positive durations")
+
+    @property
+    def n_opportunities(self) -> int:
+        """Completed cycle-stealing opportunities observed."""
+        return int(self.absences.size)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the horizon during which the owner was present."""
+        if self.horizon <= 0:
+            return 0.0
+        return float(self.presences.sum() / self.horizon)
+
+
+def life_function_sampler(p: LifeFunction) -> DurationSampler:
+    """Durations distributed per life function ``p`` (``P(D > t) = p(t)``)."""
+
+    def sample(rng: np.random.Generator, size: int) -> FloatArray:
+        return p.sample_reclaim_times(rng, size)
+
+    return sample
+
+
+def exponential_sampler(mean: float) -> DurationSampler:
+    """Memoryless durations with the given mean."""
+    if mean <= 0:
+        raise TraceError(f"mean must be positive, got {mean}")
+
+    def sample(rng: np.random.Generator, size: int) -> FloatArray:
+        return rng.exponential(mean, size=size)
+
+    return sample
+
+
+def lognormal_sampler(median: float, sigma: float) -> DurationSampler:
+    """Right-skewed durations (heavy upper tail)."""
+    if median <= 0 or sigma < 0:
+        raise TraceError(f"need median > 0, sigma >= 0; got {median}, {sigma}")
+
+    def sample(rng: np.random.Generator, size: int) -> FloatArray:
+        return median * np.exp(rng.normal(0.0, sigma, size=size))
+
+    return sample
+
+
+def generate_trace(
+    rng: np.random.Generator,
+    horizon: float,
+    absent_sampler: DurationSampler,
+    present_sampler: DurationSampler,
+    start_present: bool = True,
+) -> OwnerTrace:
+    """Simulate an alternating-renewal owner over ``[0, horizon]``.
+
+    The final interval, if absent and cut off by the horizon, is recorded as a
+    censored absence.
+    """
+    if horizon <= 0:
+        raise TraceError(f"horizon must be positive, got {horizon}")
+    absences: list[float] = []
+    presences: list[float] = []
+    censored: list[float] = []
+    t = 0.0
+    present = start_present
+    # Draw in blocks to amortize sampler overhead.
+    block = 256
+    pres_buf: list[float] = []
+    abs_buf: list[float] = []
+    while t < horizon:
+        if present:
+            if not pres_buf:
+                pres_buf = list(present_sampler(rng, block))
+            d = float(pres_buf.pop())
+            if d <= 0:
+                raise TraceError("present sampler produced a non-positive duration")
+            presences.append(min(d, horizon - t))
+            t += d
+        else:
+            if not abs_buf:
+                abs_buf = list(absent_sampler(rng, block))
+            d = float(abs_buf.pop())
+            if d <= 0:
+                raise TraceError("absent sampler produced a non-positive duration")
+            if t + d <= horizon:
+                absences.append(d)
+            else:
+                censored.append(horizon - t)
+            t += d
+        present = not present
+    return OwnerTrace(
+        absences=np.asarray(absences, dtype=float),
+        presences=np.asarray(presences, dtype=float),
+        censored_absences=np.asarray(censored, dtype=float),
+        horizon=horizon,
+    )
+
+
+def diurnal_trace(
+    rng: np.random.Generator,
+    n_days: int,
+    day_absent: DurationSampler,
+    night_length_hours: float = 14.0,
+    work_hours: float = 10.0,
+    day_present_mean_hours: float = 0.75,
+) -> OwnerTrace:
+    """A day/night owner pattern (hours as the time unit).
+
+    During each working day the owner alternates presence (exponential mean
+    ``day_present_mean_hours``) with absences drawn from ``day_absent``
+    (meetings, breaks).  Each night contributes one long absence of
+    ``night_length_hours`` — the overnight cycle-stealing bonanza the NOW
+    literature motivates.
+    """
+    if n_days < 1:
+        raise TraceError(f"need at least one day, got {n_days}")
+    absences: list[float] = []
+    presences: list[float] = []
+    t = 0.0
+    for _ in range(n_days):
+        day_end = t + work_hours
+        present = True
+        while t < day_end:
+            if present:
+                d = float(rng.exponential(day_present_mean_hours))
+                presences.append(min(d, day_end - t))
+            else:
+                d = float(day_absent(rng, 1)[0])
+                if t + d <= day_end:
+                    absences.append(d)
+                else:
+                    # The absence runs into the night: extend it.
+                    d = (day_end - t) + night_length_hours
+                    absences.append(d)
+                    t = day_end
+                    break
+            t += d
+            present = not present
+        else:
+            absences.append(night_length_hours)
+        t = day_end + night_length_hours
+    return OwnerTrace(
+        absences=np.asarray(absences, dtype=float),
+        presences=np.asarray(presences, dtype=float),
+        censored_absences=np.asarray([], dtype=float),
+        horizon=t,
+    )

@@ -1,0 +1,72 @@
+"""Shared typed aliases and small value types used across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: Scalar time/probability type accepted by public APIs.
+Scalar = Union[float, int, np.floating]
+
+#: Array-or-scalar argument type for vectorized life-function evaluation.
+ArrayLike = Union[Scalar, npt.NDArray[np.floating]]
+
+#: Dense float array returned by vectorized routines.
+FloatArray = npt.NDArray[np.float64]
+
+
+@dataclass(frozen=True)
+class Bracket:
+    """A closed interval ``[lo, hi]`` bracketing an unknown quantity.
+
+    Used for the Theorem 3.2/3.3 bounds on the optimal initial period length
+    ``t_0``, and generally wherever a 1-D search space is reported.
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.lo) and np.isfinite(self.hi)):
+            raise ValueError(f"bracket endpoints must be finite: [{self.lo}, {self.hi}]")
+        if self.lo > self.hi:
+            raise ValueError(f"bracket is empty: lo={self.lo} > hi={self.hi}")
+
+    @property
+    def width(self) -> float:
+        """Length ``hi - lo`` of the interval."""
+        return self.hi - self.lo
+
+    @property
+    def mid(self) -> float:
+        """Midpoint of the interval."""
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def ratio(self) -> float:
+        """Ratio ``hi / lo`` — the paper reports factor-of-2 uncertainty."""
+        return self.hi / self.lo if self.lo > 0 else float("inf")
+
+    def contains(self, x: float, rtol: float = 1e-9, atol: float = 1e-9) -> bool:
+        """Whether ``x`` lies in the interval, with floating-point slack."""
+        slack = atol + rtol * max(abs(self.lo), abs(self.hi))
+        return (self.lo - slack) <= x <= (self.hi + slack)
+
+    def clamp(self, x: float) -> float:
+        """Project ``x`` onto the interval."""
+        return min(max(x, self.lo), self.hi)
+
+
+def positive_subtraction(x: ArrayLike, y: ArrayLike) -> ArrayLike:
+    """The paper's ``⊖`` operator: ``x ⊖ y = max(0, x - y)`` (Section 2.1).
+
+    Vectorized; accepts scalars or arrays and preserves scalar-ness for scalar
+    inputs.
+    """
+    result = np.maximum(0.0, np.asarray(x, dtype=float) - np.asarray(y, dtype=float))
+    if np.isscalar(x) and np.isscalar(y):
+        return float(result)
+    return result

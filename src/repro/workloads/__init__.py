@@ -1,0 +1,16 @@
+"""Data-parallel workloads: tasks, pools, generators, and period packing."""
+
+from .generators import bimodal_tasks, jittered_tasks, lognormal_tasks, uniform_tasks
+from .packing import PackedPeriod, pack_period
+from .tasks import Task, TaskPool
+
+__all__ = [
+    "Task",
+    "TaskPool",
+    "PackedPeriod",
+    "pack_period",
+    "uniform_tasks",
+    "jittered_tasks",
+    "lognormal_tasks",
+    "bimodal_tasks",
+]

@@ -1,0 +1,69 @@
+"""Synthetic data-parallel workload generators.
+
+Generators produce duration arrays for :class:`repro.workloads.TaskPool`.
+The paper's model assumes durations are *known perfectly*; variability across
+tasks is allowed (and exercised by the NOW benchmarks), it just must be known
+to the scheduler when packing bundles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from ..types import FloatArray
+
+__all__ = [
+    "uniform_tasks",
+    "jittered_tasks",
+    "lognormal_tasks",
+    "bimodal_tasks",
+]
+
+
+def uniform_tasks(n: int, duration: float = 1.0) -> FloatArray:
+    """``n`` identical tasks — the canonical data-parallel sweep."""
+    if n < 1:
+        raise WorkloadError(f"need at least one task, got n={n}")
+    if duration <= 0:
+        raise WorkloadError(f"duration must be positive, got {duration}")
+    return np.full(n, float(duration))
+
+
+def jittered_tasks(
+    n: int, duration: float, jitter: float, rng: np.random.Generator
+) -> FloatArray:
+    """Uniform tasks with bounded multiplicative jitter in ``[1-j, 1+j]``.
+
+    Models per-datum variation in an otherwise repetitive kernel (e.g. a
+    ray-tracing tile with varying scene density).
+    """
+    if not 0 <= jitter < 1:
+        raise WorkloadError(f"jitter must lie in [0, 1), got {jitter}")
+    base = uniform_tasks(n, duration)
+    return base * rng.uniform(1.0 - jitter, 1.0 + jitter, size=n)
+
+
+def lognormal_tasks(
+    n: int, median: float, sigma: float, rng: np.random.Generator
+) -> FloatArray:
+    """Right-skewed durations — a few tasks much longer than the median."""
+    if median <= 0 or sigma < 0:
+        raise WorkloadError(f"need median > 0 and sigma >= 0, got {median}, {sigma}")
+    return median * np.exp(rng.normal(0.0, sigma, size=n))
+
+
+def bimodal_tasks(
+    n: int,
+    short: float,
+    long: float,
+    long_fraction: float,
+    rng: np.random.Generator,
+) -> FloatArray:
+    """A mix of short and long tasks (e.g. cheap filters plus full solves)."""
+    if not 0 <= long_fraction <= 1:
+        raise WorkloadError(f"long_fraction must lie in [0, 1], got {long_fraction}")
+    if short <= 0 or long <= 0:
+        raise WorkloadError(f"durations must be positive, got {short}, {long}")
+    is_long = rng.uniform(size=n) < long_fraction
+    return np.where(is_long, float(long), float(short))

@@ -1,0 +1,64 @@
+"""Packing tasks into cycle-stealing periods.
+
+A period of planned length ``t`` must cover the communication overhead ``c``
+plus the durations of the tasks bundled into it, so its *work budget* is
+``t - c``.  :func:`pack_period` selects the FIFO bundle; the realized period
+length is ``c + (bundle duration)``, which can undershoot the plan when task
+granularity is coarse (quantization — see :mod:`repro.simulation.discrete`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import WorkloadError
+from .tasks import Task, TaskPool
+
+__all__ = ["PackedPeriod", "pack_period"]
+
+
+@dataclass(frozen=True)
+class PackedPeriod:
+    """A dispatched bundle: tasks checked out for one period."""
+
+    tasks: tuple[Task, ...]
+    #: Communication overhead charged to this period.
+    overhead: float
+    #: Planned period length the bundle was packed against.
+    planned_length: float
+
+    @property
+    def work(self) -> float:
+        """Total task time in the bundle (the work banked if it survives)."""
+        return float(sum(t.duration for t in self.tasks))
+
+    @property
+    def realized_length(self) -> float:
+        """``c + bundle work`` — the wall-clock the period actually needs."""
+        return self.overhead + self.work
+
+    @property
+    def empty(self) -> bool:
+        return not self.tasks
+
+
+def pack_period(pool: TaskPool, planned_length: float, c: float) -> PackedPeriod:
+    """Check a FIFO bundle out of ``pool`` to fill a period of planned length.
+
+    The bundle's total duration is at most ``planned_length - c``.  An empty
+    bundle (budget below the first task's duration, or an exhausted pool)
+    means the period is not worth dispatching.
+
+    Raises
+    ------
+    WorkloadError
+        If ``planned_length <= c`` — such a period could hold no work at all
+        and should have been filtered by the scheduler (Proposition 2.1).
+    """
+    if planned_length <= c:
+        raise WorkloadError(
+            f"planned period {planned_length} does not exceed overhead {c}; "
+            "unproductive periods must not be dispatched"
+        )
+    bundle = pool.checkout(planned_length - c)
+    return PackedPeriod(tasks=tuple(bundle), overhead=c, planned_length=planned_length)

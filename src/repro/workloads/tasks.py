@@ -1,0 +1,122 @@
+"""Data-parallel task models (Section 1).
+
+The paper targets computations "that consist of a massive number of
+independent repetitive tasks of known durations", as found in many scientific
+applications.  Task durations "may vary but are known perfectly", and "the
+time for a task includes the marginal cost of transmitting its input and
+output data" — which is what keeps the overhead parameter ``c`` independent
+of data sizes.
+
+:class:`TaskPool` is engineered for large workloads: FIFO checkout/restore are
+amortized O(1) per task (``collections.deque``), and the pending-work total is
+maintained incrementally rather than recomputed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+__all__ = ["Task", "TaskPool"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One indivisible unit of data-parallel work.
+
+    ``duration`` is the task's known compute time *including* its marginal
+    input/output transmission cost (the paper's convention).
+    """
+
+    task_id: int
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError(f"task {self.task_id} has non-positive duration {self.duration}")
+
+
+class TaskPool:
+    """A mutable FIFO pool of pending tasks shared by a cycle-stealing master.
+
+    Tasks dispatched to a borrowed workstation are *checked out*; a reclaimed
+    (killed) period returns its tasks to the front of the pool, a completed
+    period commits them.
+    """
+
+    __slots__ = ("_tasks", "completed", "_pending_work", "_completed_work")
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: deque[Task] = deque(tasks)
+        self.completed: list[Task] = []
+        self._pending_work = float(sum(t.duration for t in self._tasks))
+        self._completed_work = 0.0
+
+    @classmethod
+    def from_durations(cls, durations: Sequence[float] | np.ndarray) -> "TaskPool":
+        """Build a pool with ids ``0..n-1`` from an array of durations."""
+        return cls(Task(i, float(d)) for i, d in enumerate(durations))
+
+    @property
+    def tasks(self) -> list["Task"]:
+        """Snapshot of pending tasks in FIFO order (copies; for inspection)."""
+        return list(self._tasks)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def pending_work(self) -> float:
+        return self._pending_work
+
+    @property
+    def completed_work(self) -> float:
+        return self._completed_work
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._tasks
+
+    def checkout(self, budget: float) -> list[Task]:
+        """Remove and return a FIFO prefix of tasks fitting within ``budget``.
+
+        Takes tasks in order while their cumulative duration stays within
+        ``budget``; stops at the first task that does not fit (FIFO order is
+        preserved so "known durations" stay aligned with dispatch order).
+        May return an empty list when even the first task exceeds the budget.
+        """
+        if budget < 0:
+            raise WorkloadError(f"checkout budget must be nonnegative, got {budget}")
+        taken: list[Task] = []
+        used = 0.0
+        tasks = self._tasks
+        while tasks and used + tasks[0].duration <= budget + 1e-12:
+            task = tasks.popleft()
+            taken.append(task)
+            used += task.duration
+        self._pending_work -= used
+        return taken
+
+    def commit(self, tasks: Iterable[Task]) -> None:
+        """Mark checked-out tasks as completed (their period survived)."""
+        for task in tasks:
+            self.completed.append(task)
+            self._completed_work += task.duration
+
+    def restore(self, tasks: Sequence[Task]) -> None:
+        """Return checked-out tasks to the *front* of the pool (period killed)."""
+        # extendleft reverses, so feed it the reversed sequence to preserve order.
+        self._tasks.extendleft(reversed(list(tasks)))
+        self._pending_work += float(sum(t.duration for t in tasks))
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)

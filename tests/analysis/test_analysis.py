@@ -1,0 +1,62 @@
+"""Analysis helpers: tables, sweeps, efficiency reports."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.efficiency import efficiency_report, work_ratio
+from repro.analysis.sweeps import cartesian_sweep, run_sweep
+from repro.analysis.tables import format_table
+from repro.core.life_functions import UniformRisk
+
+
+class TestTables:
+    def test_basic_render(self):
+        text = format_table(
+            ["name", "value", "ok"],
+            [["alpha", 1.25, True], ["beta", 3.5e-9, False]],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "alpha" in text
+        assert "yes" in text and "no" in text
+        assert "3.5e-09" in text or "3.50e-09" in text
+
+    def test_nan_rendering(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "nan" in text
+
+    def test_alignment_consistent(self):
+        text = format_table(["a", "b"], [["x", 1.0], ["longer", 2.0]])
+        lines = text.splitlines()
+        assert len(set(len(l) for l in lines[-2:])) == 1
+
+
+class TestSweeps:
+    def test_cartesian(self):
+        combos = cartesian_sweep(c=[1, 2], L=[10, 20, 30])
+        assert len(combos) == 6
+        assert {"c": 2, "L": 30} in combos
+
+    def test_run_sweep(self):
+        points = run_sweep(
+            cartesian_sweep(x=[1, 2], y=[3]),
+            lambda x, y: [x + y],
+        )
+        assert [p.row[0] for p in points] == [4, 5]
+        assert points[0].params == {"x": 1, "y": 3}
+
+
+class TestEfficiency:
+    def test_work_ratio_conventions(self):
+        assert work_ratio(5.0, 10.0) == 0.5
+        assert work_ratio(0.0, 0.0) == 1.0
+        assert math.isinf(work_ratio(1.0, 0.0))
+
+    def test_report_uniform(self):
+        report = efficiency_report(UniformRisk(150.0), 2.0)
+        assert 0.99 <= report.ratio <= 1.0 + 1e-9
+        assert report.t0_in_bracket
+        assert report.bracket_ratio < 3.0

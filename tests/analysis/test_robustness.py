@@ -1,0 +1,68 @@
+"""Robustness of the guidelines to misestimated life functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.robustness import (
+    misestimation_ratio,
+    parameter_error_sweep,
+    sampling_error_sweep,
+)
+
+
+class TestParameterError:
+    def test_zero_error_is_optimal(self):
+        p = repro.UniformRisk(200.0)
+        ratio, _ = misestimation_ratio(p, p, 2.0)
+        assert ratio == pytest.approx(1.0, abs=1e-6)
+
+    def test_graceful_degradation_uniform(self):
+        """±30% lifespan error costs only a few percent — the paper's
+        'extends easily to approximate knowledge' claim, quantified."""
+        p_true = repro.UniformRisk(200.0)
+        points = parameter_error_sweep(
+            p_true,
+            lambda eps: repro.UniformRisk(200.0 * (1 + eps)),
+            2.0,
+            errors=(-0.3, -0.1, 0.0, 0.1, 0.3),
+        )
+        by_err = {pt.error: pt.ratio for pt in points}
+        assert by_err[0.0] == pytest.approx(1.0, abs=1e-6)
+        assert by_err[-0.3] > 0.85
+        assert by_err[0.3] > 0.95
+        # More error never helps (on each side of zero).
+        assert by_err[-0.3] <= by_err[-0.1] + 1e-9
+        assert by_err[0.3] <= by_err[0.1] + 1e-9
+
+    def test_half_life_error_geomdec(self):
+        a_true = 1.2
+        p_true = repro.GeometricDecreasingLifespan(a_true)
+        points = parameter_error_sweep(
+            p_true,
+            lambda eps: repro.GeometricDecreasingLifespan(1.0 + (a_true - 1.0) * (1 + eps)),
+            0.5,
+            errors=(-0.5, 0.0, 0.5),
+        )
+        assert all(pt.ratio > 0.9 for pt in points)
+
+
+class TestSamplingError:
+    def test_ratio_improves_with_samples(self, rng):
+        from repro.traces.fitting import fit_geometric_decreasing
+
+        p_true = repro.GeometricDecreasingLifespan(1.25)
+        points = sampling_error_sweep(
+            p_true,
+            lambda data: fit_geometric_decreasing(data).life,
+            c=0.5,
+            sample_sizes=(5, 50, 500),
+            replications=6,
+            rng=rng,
+        )
+        ratios = [pt.ratio for pt in points]
+        assert ratios[-1] > 0.995       # 500 samples: essentially optimal
+        assert ratios[-1] >= ratios[0]  # more data never hurts on average
+        assert all(r > 0.7 for r in ratios)  # even 5 samples is workable

@@ -1,0 +1,173 @@
+"""Baseline schedules and online policies."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import (
+    AllInOnePolicy,
+    DoublingPolicy,
+    EpisodeInfo,
+    FixedChunkPolicy,
+    GuidelinePolicy,
+    OmniscientPolicy,
+    Policy,
+    ProgressivePolicy,
+    RandomizedDoublingPolicy,
+    SchedulePolicy,
+)
+from repro.baselines.schedules import (
+    all_in_one_schedule,
+    doubling_schedule,
+    fixed_chunk_schedule,
+)
+from repro.core.guidelines import guideline_schedule
+from repro.core.life_functions import GeometricDecreasingLifespan, UniformRisk
+from repro.core.schedule import Schedule
+from repro.exceptions import InvalidScheduleError
+
+
+class TestBaselineSchedules:
+    def test_fixed_chunk_covers_lifespan(self):
+        p = UniformRisk(100.0)
+        s = fixed_chunk_schedule(p, 1.0, 12.0)
+        assert s.total_length == pytest.approx(100.0)
+        assert np.allclose(s.periods[:-1], 12.0)
+
+    def test_fixed_chunk_drops_unproductive_tail(self):
+        p = UniformRisk(24.5)
+        s = fixed_chunk_schedule(p, 1.0, 12.0)
+        # remainder 0.5 < c: dropped.
+        assert s.num_periods == 2
+
+    def test_fixed_chunk_validation(self):
+        with pytest.raises(InvalidScheduleError):
+            fixed_chunk_schedule(UniformRisk(10.0), 2.0, 1.5)
+
+    def test_doubling_growth(self):
+        p = UniformRisk(100.0)
+        s = doubling_schedule(p, 1.0, first=3.0)
+        assert s.periods[1] == pytest.approx(6.0)
+        assert s.periods[2] == pytest.approx(12.0)
+        assert s.total_length <= 100.0 + 1e-9
+
+    def test_doubling_validation(self):
+        with pytest.raises(InvalidScheduleError):
+            doubling_schedule(UniformRisk(10.0), 2.0, first=1.0)
+        with pytest.raises(InvalidScheduleError):
+            doubling_schedule(UniformRisk(10.0), 1.0, first=2.0, factor=1.0)
+
+    def test_all_in_one_zero_expected_work_finite_lifespan(self):
+        p = UniformRisk(50.0)
+        s = all_in_one_schedule(p, 1.0)
+        assert s.num_periods == 1
+        assert s.expected_work(p, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_guideline_dominates_baselines(self):
+        """The point of the paper: E(guideline) > E(any ad-hoc baseline)."""
+        p = UniformRisk(200.0)
+        c = 2.0
+        guided = guideline_schedule(p, c).expected_work
+        for baseline in (
+            fixed_chunk_schedule(p, c, 5.0),
+            fixed_chunk_schedule(p, c, 50.0),
+            doubling_schedule(p, c, first=4.0),
+            all_in_one_schedule(p, c),
+        ):
+            assert guided > baseline.expected_work(p, c)
+
+
+class TestPolicies:
+    def _info(self, c=1.0, life=None, reclaim=None):
+        return EpisodeInfo(c=c, life=life, reclaim_time=reclaim)
+
+    def test_protocol_conformance(self, rng):
+        for policy in (
+            SchedulePolicy(Schedule([3.0, 2.0])),
+            GuidelinePolicy(),
+            ProgressivePolicy(),
+            FixedChunkPolicy(4.0),
+            DoublingPolicy(2.0),
+            AllInOnePolicy(10.0),
+            RandomizedDoublingPolicy(2.0, rng),
+            OmniscientPolicy(),
+        ):
+            assert isinstance(policy, Policy)
+
+    def test_schedule_policy_sequence(self):
+        policy = SchedulePolicy(Schedule([3.0, 2.0]))
+        policy.start_episode(self._info())
+        assert policy.next_period(0.0) == 3.0
+        assert policy.next_period(3.0) == 2.0
+        assert policy.next_period(5.0) is None
+        policy.start_episode(self._info())
+        assert policy.next_period(0.0) == 3.0  # reset
+
+    def test_guideline_policy_needs_life(self):
+        policy = GuidelinePolicy()
+        policy.start_episode(self._info(life=None))
+        assert policy.next_period(0.0) is None
+        policy.start_episode(self._info(life=UniformRisk(100.0)))
+        assert policy.next_period(0.0) > 1.0
+
+    def test_fixed_chunk_honors_overhead(self):
+        policy = FixedChunkPolicy(2.0)
+        policy.start_episode(self._info(c=3.0))
+        assert policy.next_period(0.0) is None
+
+    def test_doubling_sequence_and_cap(self):
+        policy = DoublingPolicy(2.0, factor=2.0, cap=7.0)
+        policy.start_episode(self._info())
+        assert policy.next_period(0.0) == 2.0
+        assert policy.next_period(2.0) == 4.0
+        assert policy.next_period(6.0) == 7.0
+        assert policy.next_period(13.0) == 7.0
+
+    def test_all_in_one_single_dispatch(self):
+        policy = AllInOnePolicy(20.0)
+        policy.start_episode(self._info())
+        assert policy.next_period(0.0) == 20.0
+        assert policy.next_period(20.0) is None
+
+    def test_randomized_phase_varies(self, rng):
+        policy = RandomizedDoublingPolicy(2.0, rng)
+        firsts = set()
+        for _ in range(8):
+            policy.start_episode(self._info())
+            firsts.add(round(policy.next_period(0.0), 6))
+        assert len(firsts) > 4  # random phases differ
+        assert all(2.0 <= f <= 4.0 for f in firsts)
+
+    def test_omniscient_reads_reclaim(self):
+        policy = OmniscientPolicy()
+        policy.start_episode(self._info(c=1.0, reclaim=10.0))
+        t = policy.next_period(0.0)
+        assert t is not None and t < 10.0 and t > 9.99
+        assert policy.next_period(t) is None
+
+    def test_omniscient_declines_tiny_window(self):
+        policy = OmniscientPolicy()
+        policy.start_episode(self._info(c=1.0, reclaim=0.5))
+        assert policy.next_period(0.0) is None
+
+    def test_progressive_policy_uses_conditional(self):
+        p = UniformRisk(100.0)
+        policy = ProgressivePolicy()
+        policy.start_episode(self._info(c=1.0, life=p))
+        t1 = policy.next_period(0.0)
+        t2 = policy.next_period(50.0)  # after surviving to 50
+        assert t1 is not None and t2 is not None
+        assert t2 < t1  # the remaining window shrank
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            FixedChunkPolicy(0.0)
+        with pytest.raises(ValueError):
+            DoublingPolicy(1.0, factor=1.0)
+        with pytest.raises(ValueError):
+            AllInOnePolicy(-2.0)
+        with pytest.raises(ValueError):
+            RandomizedDoublingPolicy(0.0, rng)

@@ -1,0 +1,57 @@
+"""Shared fixtures: canonical life functions, RNGs, and tolerances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    MixtureLife,
+    ParetoLife,
+    PolynomialRisk,
+    UniformRisk,
+    WeibullLife,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(20260706)
+
+
+def _paper_families() -> dict:
+    return {
+        "uniform": UniformRisk(100.0),
+        "poly2": PolynomialRisk(2, 100.0),
+        "poly3": PolynomialRisk(3, 80.0),
+        "geomdec": GeometricDecreasingLifespan(1.1),
+        "geominc": GeometricIncreasingRisk(30.0),
+    }
+
+
+@pytest.fixture(params=list(_paper_families()))
+def paper_life(request):
+    """Each Section 4 family, one at a time (parametrized)."""
+    return _paper_families()[request.param]
+
+
+@pytest.fixture(params=["uniform", "poly2", "geominc"])
+def concave_life(request):
+    """The concave (finite-lifespan) families."""
+    return _paper_families()[request.param]
+
+
+@pytest.fixture
+def all_families():
+    """Every analytic family, including the extras."""
+    fams = _paper_families()
+    fams["weibull_convex"] = WeibullLife(k=0.8, scale=20.0)
+    fams["weibull_general"] = WeibullLife(k=1.8, scale=20.0)
+    fams["pareto"] = ParetoLife(d=2.0)
+    fams["mixture"] = MixtureLife(
+        [UniformRisk(50.0), UniformRisk(150.0)], [0.5, 0.5]
+    )
+    return fams

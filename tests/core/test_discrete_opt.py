@@ -1,0 +1,94 @@
+"""Exact discrete DP optimum (Section 6's discrete-analogue question)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.discrete_opt import solve_discrete_optimal
+from repro.core.guidelines import guideline_schedule
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    PolynomialRisk,
+    UniformRisk,
+)
+from repro.exceptions import InvalidScheduleError
+from repro.simulation.discrete import discretize_schedule
+
+
+class TestDP:
+    def test_periods_match_task_counts(self):
+        opt = solve_discrete_optimal(UniformRisk(60.0), c=2.0, tau=1.0)
+        for period, k in zip(opt.schedule.periods, opt.task_counts):
+            assert period == pytest.approx(2.0 + k * 1.0)
+        assert all(k >= 1 for k in opt.task_counts)
+
+    def test_expected_work_consistent(self):
+        p = UniformRisk(60.0)
+        opt = solve_discrete_optimal(p, c=2.0, tau=1.0)
+        assert opt.expected_work == pytest.approx(
+            opt.schedule.expected_work(p, 2.0), rel=1e-10
+        )
+
+    def test_dominates_quantized_guideline(self, concave_life):
+        """The DP optimum is an upper bound over all whole-task schedules,
+        in particular over the floor-quantized continuous guideline."""
+        c, tau = 1.0, 0.5
+        dp = solve_discrete_optimal(concave_life, c, tau)
+        cont = guideline_schedule(concave_life, c).schedule
+        quantized = discretize_schedule(cont, c, tau)
+        assert dp.expected_work >= quantized.expected_work(concave_life, c) - 1e-9
+
+    def test_below_continuous_optimum(self):
+        """Quantization can only lose work relative to the continuous optimum."""
+        from repro.core.optimizer import optimize_schedule
+
+        p = UniformRisk(80.0)
+        c = 2.0
+        cont = optimize_schedule(p, c).expected_work
+        dp = solve_discrete_optimal(p, c, tau=4.0).expected_work
+        assert dp <= cont + 1e-9
+
+    def test_converges_to_continuous_with_fine_tasks(self):
+        from repro.core.optimizer import optimize_schedule
+
+        p = UniformRisk(60.0)
+        c = 2.0
+        cont = optimize_schedule(p, c).expected_work
+        coarse = solve_discrete_optimal(p, c, tau=8.0).expected_work
+        fine = solve_discrete_optimal(p, c, tau=0.5).expected_work
+        assert coarse <= fine <= cont + 1e-9
+        assert (cont - fine) / cont < 0.01
+
+    def test_uniform_integral_case_matches_decrement_structure(self):
+        """With c and tau integral, the DP recovers the decrement-c shape."""
+        opt = solve_discrete_optimal(UniformRisk(100.0), c=2.0, tau=1.0)
+        decs = -np.diff(opt.schedule.periods)
+        assert np.all(decs >= 1.0 - 1e-9)  # at least one task fewer each period
+
+    def test_works_for_geominc(self):
+        opt = solve_discrete_optimal(GeometricIncreasingRisk(24.0), c=1.0, tau=0.5)
+        assert opt.expected_work > 0
+        # First period dominates, like the continuous optimum.
+        assert opt.schedule.periods[0] > 0.5 * opt.schedule.total_length
+
+    def test_rejects_unbounded_lifespan(self):
+        with pytest.raises(InvalidScheduleError):
+            solve_discrete_optimal(GeometricDecreasingLifespan(1.3), 1.0, 1.0)
+
+    def test_rejects_bad_quanta(self):
+        with pytest.raises(InvalidScheduleError):
+            solve_discrete_optimal(UniformRisk(10.0), 1.0, 0.0)
+        with pytest.raises(InvalidScheduleError):
+            solve_discrete_optimal(UniformRisk(10.0), -1.0, 1.0)
+
+    def test_grid_guard(self):
+        with pytest.raises(InvalidScheduleError):
+            solve_discrete_optimal(UniformRisk(10_000.0), 1.0, 0.001, max_states=1000)
+
+    def test_impossible_fit_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            solve_discrete_optimal(UniformRisk(2.0), c=1.5, tau=1.0)

@@ -1,0 +1,107 @@
+"""Exact banked-work distributions and risk-averse scheduling."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import (
+    WorkDistribution,
+    optimize_risk_averse,
+    work_distribution,
+)
+from repro.core.guidelines import guideline_schedule
+from repro.core.life_functions import GeometricDecreasingLifespan, UniformRisk
+from repro.core.schedule import Schedule
+from repro.exceptions import InvalidScheduleError
+
+
+class TestWorkDistribution:
+    def test_hand_computed_case(self):
+        p = UniformRisk(10.0)
+        s = Schedule([4.0, 3.0])  # boundaries 4, 7
+        dist = work_distribution(s, p, 1.0)
+        assert np.allclose(dist.atoms, [0.0, 3.0, 5.0])
+        # P[0 complete] = 1 - p(4) = 0.4; P[1] = p(4) - p(7) = 0.3; P[2] = 0.3.
+        assert np.allclose(dist.probabilities, [0.4, 0.3, 0.3])
+
+    def test_mean_matches_expected_work(self, paper_life):
+        c = 0.5
+        s = guideline_schedule(paper_life, c, grid=33).schedule
+        dist = work_distribution(s, paper_life, c)
+        assert dist.mean == pytest.approx(s.expected_work(paper_life, c), rel=1e-10)
+
+    def test_variance_matches_monte_carlo(self, rng):
+        from repro.simulation import simulate_episodes
+
+        p = UniformRisk(50.0)
+        s = Schedule([12.0, 9.0, 6.0])
+        c = 1.0
+        dist = work_distribution(s, p, c)
+        batch = simulate_episodes(s, p, c, 200_000, rng)
+        assert dist.mean == pytest.approx(float(batch.work.mean()), abs=0.1)
+        assert dist.std == pytest.approx(float(batch.work.std()), abs=0.1)
+
+    def test_quantiles_and_tail(self):
+        p = UniformRisk(10.0)
+        dist = work_distribution(Schedule([4.0, 3.0]), p, 1.0)
+        assert dist.quantile(0.0) == 0.0
+        assert dist.quantile(0.5) == 3.0
+        assert dist.quantile(1.0) == 5.0
+        assert dist.prob_at_least(3.0) == pytest.approx(0.6)
+        assert dist.prob_at_least(5.1) == 0.0
+
+    def test_cvar(self):
+        p = UniformRisk(10.0)
+        dist = work_distribution(Schedule([4.0, 3.0]), p, 1.0)
+        # Worst 40% of outcomes are exactly the zero atom.
+        assert dist.cvar_lower(0.4) == pytest.approx(0.0)
+        # Worst 70%: 0.4 mass at 0, 0.3 mass at 3 -> 0.9/0.7.
+        assert dist.cvar_lower(0.7) == pytest.approx(0.9 / 0.7)
+        assert dist.cvar_lower(1.0) == pytest.approx(dist.mean)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            work_distribution(Schedule([4.0]), UniformRisk(10.0), 1.0).quantile(1.5)
+        with pytest.raises(InvalidScheduleError):
+            work_distribution(Schedule([4.0]), UniformRisk(10.0), -1.0)
+        with pytest.raises(InvalidScheduleError):
+            WorkDistribution(np.array([0.0, 1.0]), np.array([0.6, 0.6]))
+
+
+class TestRiskAverse:
+    def test_zero_aversion_matches_guideline(self):
+        p = UniformRisk(200.0)
+        c = 2.0
+        schedule, dist = optimize_risk_averse(p, c, risk_aversion=0.0, grid=201)
+        base = guideline_schedule(p, c).expected_work
+        assert dist.mean == pytest.approx(base, rel=1e-3)
+
+    def test_aversion_trades_mean_for_std(self):
+        p = UniformRisk(200.0)
+        c = 2.0
+        _, neutral = optimize_risk_averse(p, c, risk_aversion=0.0, grid=101)
+        _, averse = optimize_risk_averse(p, c, risk_aversion=2.0, grid=101)
+        assert averse.std <= neutral.std + 1e-9
+        assert averse.mean <= neutral.mean + 1e-9
+        # And the risk-adjusted objective actually improved.
+        assert averse.mean - 2.0 * averse.std >= neutral.mean - 2.0 * neutral.std - 1e-9
+
+    def test_quantile_objective(self):
+        p = UniformRisk(200.0)
+        c = 2.0
+        _, neutral = optimize_risk_averse(p, c, risk_aversion=0.0, grid=101)
+        _, q_opt = optimize_risk_averse(p, c, quantile=0.25, grid=101)
+        assert q_opt.quantile(0.25) >= neutral.quantile(0.25) - 1e-9
+
+    def test_memoryless_case_runs(self):
+        p = GeometricDecreasingLifespan(1.3)
+        schedule, dist = optimize_risk_averse(p, 0.5, risk_aversion=1.0, grid=61)
+        assert dist.mean > 0
+        assert schedule.num_periods >= 1
+
+    def test_negative_aversion_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_risk_averse(UniformRisk(100.0), 1.0, risk_aversion=-1.0)

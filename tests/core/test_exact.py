@@ -1,0 +1,175 @@
+"""The reconstructed [3] optima: closed forms and cross-checks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    bclr_step_geometric_increasing,
+    geometric_decreasing_optimal_period,
+    geometric_decreasing_optimal_schedule,
+    geometric_decreasing_optimal_work,
+    geometric_increasing_optimal_schedule,
+    uniform_decrement_t0,
+    uniform_optimal_num_periods,
+    uniform_optimal_schedule,
+    uniform_t0_asymptotic,
+)
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    UniformRisk,
+)
+from repro.core.recurrence import satisfies_recurrence
+
+
+class TestUniformOptimal:
+    def test_period_count_floor_formula(self):
+        assert uniform_optimal_num_periods(100.0, 2.0) == int(
+            math.floor(math.sqrt(100.0 + 0.25) + 0.5)
+        )
+
+    def test_decrement_structure(self):
+        res = uniform_optimal_schedule(500.0, 2.0)
+        decs = -np.diff(res.schedule.periods)
+        assert np.allclose(decs, 2.0)
+
+    def test_t0_near_sqrt_2cL(self):
+        """Eq. (4.5): t0 = sqrt(2cL) + low-order terms."""
+        for L in (1000.0, 10000.0):
+            c = 1.0
+            res = uniform_optimal_schedule(L, c)
+            assert res.t0 == pytest.approx(uniform_t0_asymptotic(L, c), rel=0.06)
+
+    def test_satisfies_guideline_recurrence(self):
+        """(4.1) 'is identical to the optimal period-length recurrence for
+        p_{1,L} discovered in [3]'."""
+        res = uniform_optimal_schedule(300.0, 2.0)
+        assert satisfies_recurrence(res.schedule, UniformRisk(300.0), 2.0)
+
+    def test_beats_neighbor_period_counts(self):
+        """The chosen m maximizes E over the decrement family."""
+        L, c = 200.0, 3.0
+        p = UniformRisk(L)
+        res = uniform_optimal_schedule(L, c)
+        for m in (res.num_periods - 1, res.num_periods + 1):
+            if m < 1:
+                continue
+            t0 = uniform_decrement_t0(L, c, m)
+            periods = t0 - c * np.arange(m)
+            if np.any(periods <= 0):
+                continue
+            from repro.core.schedule import Schedule
+
+            ew = Schedule(periods).expected_work(p, c)
+            assert ew <= res.expected_work + 1e-9
+
+    def test_spans_at_most_lifespan(self):
+        res = uniform_optimal_schedule(100.0, 1.0)
+        assert res.schedule.total_length <= 100.0 + 1e-9
+
+    def test_matches_nlp_ground_truth(self):
+        from repro.core.optimizer import optimize_schedule
+
+        L, c = 150.0, 2.0
+        res = uniform_optimal_schedule(L, c)
+        nlp = optimize_schedule(UniformRisk(L), c)
+        assert res.expected_work == pytest.approx(nlp.expected_work, rel=1e-6)
+
+    def test_overhead_too_large(self):
+        from repro.exceptions import ConvergenceError
+
+        with pytest.raises(ConvergenceError):
+            uniform_optimal_schedule(1.0, 10.0)
+
+
+class TestGeometricDecreasingOptimal:
+    def test_transcendental_equation(self):
+        a, c = 1.4, 0.7
+        t_star = geometric_decreasing_optimal_period(a, c)
+        ln_a = math.log(a)
+        assert t_star + a ** (-t_star) / ln_a == pytest.approx(c + 1 / ln_a, rel=1e-12)
+
+    def test_interior_root(self):
+        a, c = 1.2, 1.0
+        t_star = geometric_decreasing_optimal_period(a, c)
+        assert c < t_star < c + 1 / math.log(a)
+
+    def test_zero_overhead_degenerates(self):
+        assert geometric_decreasing_optimal_period(1.5, 0.0) == 0.0
+
+    def test_closed_form_work_matches_schedule(self):
+        a, c = 1.3, 0.5
+        closed = geometric_decreasing_optimal_work(a, c)
+        res = geometric_decreasing_optimal_schedule(a, c, tol=1e-14)
+        p = GeometricDecreasingLifespan(a)
+        assert res.schedule.expected_work(p, c) == pytest.approx(closed, rel=1e-10)
+
+    def test_equal_periods(self):
+        res = geometric_decreasing_optimal_schedule(1.25, 0.8)
+        assert np.allclose(res.schedule.periods, res.t0, rtol=1e-9)
+
+    def test_beats_perturbed_period_lengths(self):
+        """t* maximizes the closed-form E over equal-period schedules."""
+        a, c = 1.3, 0.6
+        t_star = geometric_decreasing_optimal_period(a, c)
+
+        def equal_period_work(t: float) -> float:
+            q = a ** (-t)
+            return (t - c) * q / (1 - q)
+
+        e_star = equal_period_work(t_star)
+        for t in (t_star * 0.8, t_star * 0.95, t_star * 1.05, t_star * 1.2):
+            assert equal_period_work(t) <= e_star + 1e-12
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            geometric_decreasing_optimal_period(0.9, 1.0)
+        with pytest.raises(ValueError):
+            geometric_decreasing_optimal_period(1.5, -1.0)
+
+
+class TestGeometricIncreasingOptimal:
+    def test_bclr_step(self):
+        assert bclr_step_geometric_increasing(10.0, 1.0) == pytest.approx(
+            math.log2(11.0)
+        )
+        assert math.isnan(bclr_step_geometric_increasing(0.5, 3.0))
+
+    def test_schedule_follows_bclr_recurrence(self):
+        res = geometric_increasing_optimal_schedule(40.0, 1.0)
+        periods = res.schedule.periods
+        for k in range(len(periods) - 1):
+            assert periods[k + 1] == pytest.approx(
+                math.log2(periods[k] - 1.0 + 2.0), rel=1e-9
+            )
+
+    def test_near_nlp_ground_truth(self):
+        """The [3]-family optimum should be within a hair of the unrestricted
+        NLP optimum (the recurrence is [3]'s necessary condition)."""
+        from repro.core.optimizer import optimize_schedule
+
+        L, c = 30.0, 1.0
+        res = geometric_increasing_optimal_schedule(L, c)
+        nlp = optimize_schedule(GeometricIncreasingRisk(L), c)
+        assert res.expected_work == pytest.approx(nlp.expected_work, rel=0.02)
+
+    def test_t0_dominates_schedule(self):
+        """t0 = L - Theta(log L): the first period takes nearly everything."""
+        L = 128.0
+        res = geometric_increasing_optimal_schedule(L, 1.0)
+        assert res.t0 > L - 4 * math.log2(L)
+        assert res.t0 < L
+
+    def test_lifespan_not_exceeded(self):
+        res = geometric_increasing_optimal_schedule(25.0, 0.5)
+        assert res.schedule.total_length <= 25.0 + 1e-9
+
+    def test_overhead_exceeding_lifespan(self):
+        from repro.exceptions import ConvergenceError
+
+        with pytest.raises(ConvergenceError):
+            geometric_increasing_optimal_schedule(2.0, 5.0)

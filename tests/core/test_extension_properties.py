@@ -1,0 +1,109 @@
+"""Property-based tests for the extension modules (distribution, worst case,
+discrete DP)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.discrete_opt import solve_discrete_optimal
+from repro.core.distribution import work_distribution
+from repro.core.life_functions import PolynomialRisk, UniformRisk
+from repro.core.schedule import Schedule
+from repro.core.worstcase import competitive_ratio, guaranteed_work
+
+periods_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=30.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    periods=periods_strategy,
+    c=st.floats(min_value=0.0, max_value=3.0),
+    L=st.floats(min_value=10.0, max_value=200.0),
+)
+def test_distribution_consistency(periods, c, L):
+    """Distribution mean == eq. (2.1); probabilities form a distribution;
+    atoms are monotone; quantiles are monotone in the level."""
+    p = UniformRisk(L)
+    s = Schedule(periods)
+    dist = work_distribution(s, p, c)
+    assert dist.mean == pytest.approx(s.expected_work(p, c), rel=1e-9, abs=1e-12)
+    assert np.all(dist.probabilities >= 0)
+    assert dist.probabilities.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(dist.atoms) >= -1e-12)
+    qs = [dist.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+    assert all(b >= a - 1e-12 for a, b in zip(qs, qs[1:]))
+    assert dist.variance >= -1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    periods=periods_strategy,
+    c=st.floats(min_value=0.1, max_value=2.0),
+    min_episode=st.floats(min_value=0.0, max_value=50.0),
+)
+def test_guaranteed_work_monotone_in_min_episode(periods, c, min_episode):
+    """A more constrained adversary can never reduce the guarantee."""
+    s = Schedule(periods)
+    g1 = guaranteed_work(s, c, min_episode)
+    g2 = guaranteed_work(s, c, min_episode + 5.0)
+    assert g2 >= g1 - 1e-12
+    assert 0.0 <= g1 <= float(np.sum(s.work_per_period(c))) + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    periods=periods_strategy,
+    c=st.floats(min_value=0.1, max_value=2.0),
+)
+def test_competitive_ratio_bounds(periods, c):
+    """0 <= ratio <= 1 whenever the window is valid (the clairvoyant is an
+    upper bound by construction)."""
+    s = Schedule(periods)
+    min_episode = float(s.boundaries[0]) * 1.01 + 1e-6
+    horizon = s.total_length + 1.0
+    assume(horizon > min_episode and min_episode > c)
+    ratio = competitive_ratio(s, c, min_episode=min_episode, horizon=horizon)
+    assert -1e-12 <= ratio <= 1.0 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    L=st.floats(min_value=20.0, max_value=120.0),
+    # c on a coarse rational grid: the DP's common time grid is gcd(c, tau),
+    # and an arbitrary float c would legitimately explode the state space.
+    c=st.sampled_from([0.5, 0.75, 1.0, 1.5, 2.0, 3.0]),
+    d=st.integers(min_value=1, max_value=3),
+    tau_kind=st.sampled_from([0.5, 1.0, 2.0]),
+)
+def test_discrete_dp_sandwich(L, c, d, tau_kind):
+    """quantized-guideline <= DP optimum <= continuous optimum (guideline E
+    as a cheap continuous lower-bound witness)."""
+    p = PolynomialRisk(d, L)
+    tau = tau_kind
+    assume(L > c + tau)
+    from repro.core.guidelines import guideline_schedule
+    from repro.simulation.discrete import discretize_schedule
+
+    dp = solve_discrete_optimal(p, c, tau)
+    cont = guideline_schedule(p, c, grid=33)
+    try:
+        quant = discretize_schedule(cont.schedule, c, tau).expected_work(p, c)
+    except Exception:
+        quant = 0.0
+    assert quant <= dp.expected_work + 1e-9
+    # The continuous guideline E dominates the DP optimum (it could always
+    # emulate whole-task periods).
+    assert dp.expected_work <= cont.expected_work + 1e-6
+    # DP schedules are feasible: whole tasks, inside the lifespan.
+    assert dp.schedule.total_length <= L + 1e-9
+    for period, k in zip(dp.schedule.periods, dp.task_counts):
+        assert period == pytest.approx(c + k * tau, abs=1e-9)

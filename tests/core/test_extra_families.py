@@ -1,0 +1,87 @@
+"""Gompertz and log-logistic life functions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.existence import tail_admissibility_margin
+from repro.core.guidelines import guideline_schedule
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GompertzLife,
+    LogLogisticLife,
+)
+
+
+class TestGompertz:
+    def test_survival_axioms(self):
+        GompertzLife(b=0.1, eta=0.3).validate()
+
+    def test_hazard_grows_exponentially(self):
+        g = GompertzLife(b=0.1, eta=0.5)
+        ts = np.linspace(0.0, 10.0, 11)
+        hz = np.asarray(g.hazard(ts))
+        assert np.allclose(hz, 0.1 * np.exp(0.5 * ts), rtol=1e-9)
+
+    def test_small_eta_approaches_exponential(self):
+        g = GompertzLife(b=0.2, eta=1e-6)
+        e = GeometricDecreasingLifespan(math.exp(0.2))
+        ts = np.linspace(0.0, 20.0, 9)
+        assert np.allclose(np.asarray(g(ts)), np.asarray(e(ts)), rtol=1e-4)
+
+    def test_inverse_round_trip(self):
+        g = GompertzLife(b=0.05, eta=0.4)
+        ys = np.array([0.9, 0.5, 0.05, 1e-6])
+        assert np.allclose(np.asarray(g(g.inverse(ys))), ys, rtol=1e-9)
+
+    def test_derivative_matches_numeric(self):
+        g = GompertzLife(b=0.1, eta=0.3)
+        ts = np.linspace(0.1, 8.0, 9)
+        h = 1e-7
+        numeric = (np.asarray(g(ts + h)) - np.asarray(g(ts - h))) / (2 * h)
+        assert np.allclose(np.asarray(g.derivative(ts)), numeric, rtol=1e-5)
+
+    def test_schedulable(self):
+        res = guideline_schedule(GompertzLife(b=0.05, eta=0.3), 0.3)
+        assert res.expected_work > 0
+        assert res.schedule.num_periods >= 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GompertzLife(b=0.0, eta=1.0)
+        with pytest.raises(ValueError):
+            GompertzLife(b=1.0, eta=-0.1)
+
+
+class TestLogLogistic:
+    def test_survival_axioms(self):
+        LogLogisticLife(alpha=5.0, beta=2.0).validate()
+
+    def test_median_at_alpha(self):
+        ll = LogLogisticLife(alpha=7.0, beta=2.5)
+        assert ll(7.0) == pytest.approx(0.5)
+        assert ll.inverse(0.5) == pytest.approx(7.0)
+
+    def test_inverse_round_trip(self):
+        ll = LogLogisticLife(alpha=3.0, beta=1.5)
+        ys = np.array([0.99, 0.5, 0.01])
+        assert np.allclose(np.asarray(ll(ll.inverse(ys))), ys, rtol=1e-9)
+
+    def test_heavy_tail_non_attainment_signature(self):
+        """beta <= 1: tail margin converges to 1 - beta <= 0, like Pareto."""
+        margins = tail_admissibility_margin(LogLogisticLife(5.0, 0.8), 0.5)
+        finite = margins[np.isfinite(margins)]
+        assert finite[-1] == pytest.approx(1.0 - 0.8, abs=0.05)
+
+    def test_light_enough_tail_schedulable(self):
+        res = guideline_schedule(LogLogisticLife(alpha=10.0, beta=3.0), 0.5)
+        assert res.expected_work > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogLogisticLife(alpha=0.0, beta=1.0)
+        with pytest.raises(ValueError):
+            LogLogisticLife(alpha=1.0, beta=0.0)

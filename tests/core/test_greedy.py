@@ -1,0 +1,103 @@
+"""Greedy schedules (Section 6): optimal for geomdec, suboptimal for uniform."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    geometric_decreasing_optimal_period,
+    geometric_decreasing_optimal_work,
+    uniform_optimal_schedule,
+)
+from repro.core.greedy import greedy_next_period, greedy_schedule
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    UniformRisk,
+)
+from repro.exceptions import InvalidScheduleError
+
+
+class TestGreedyStep:
+    def test_uniform_closed_form(self):
+        """For p = 1 - t/L from elapsed s: argmax (t-c)(1-(s+t)/L) is
+        t = (L - s + c)/2."""
+        L, c, s = 100.0, 2.0, 20.0
+        t = greedy_next_period(UniformRisk(L), c, s)
+        assert t == pytest.approx((L - s + c) / 2, rel=1e-6)
+
+    def test_memoryless_step_independent_of_start(self):
+        p = GeometricDecreasingLifespan(1.3)
+        t0 = greedy_next_period(p, 1.0, 0.0)
+        t5 = greedy_next_period(p, 1.0, 5.0)
+        assert t0 == pytest.approx(t5, rel=1e-6)
+
+    def test_exhausted_window_returns_none(self):
+        assert greedy_next_period(UniformRisk(10.0), 2.0, 9.0) is None
+
+
+class TestGreedySchedules:
+    def test_greedy_geomdec_equal_periods_at_myopic_point(self):
+        """Myopic greedy on the memoryless family picks equal periods at
+        t = c + 1/ln a (the maximizer of (t-c) a^{-t}).
+
+        DEVIATION NOTE: Section 6 claims greedy 'yields the optimal schedule
+        for the geometrically decreasing lifespan scenario', but under the
+        literal myopic recipe the greedy period c + 1/ln a differs from the
+        true optimal period t* (which solves a^{-t} + t ln a = 1 + c ln a and
+        maximizes the steady-state rate, not the single-period payoff).  The
+        measured efficiency is ~85-90%, not 100% — recorded in EXPERIMENTS.md
+        (experiment E6-GREEDY).
+        """
+        a, c = 1.3, 0.8
+        p = GeometricDecreasingLifespan(a)
+        s = greedy_schedule(p, c)
+        myopic = c + 1.0 / math.log(a)
+        assert np.allclose(s.periods, myopic, rtol=1e-5)
+        t_star = geometric_decreasing_optimal_period(a, c)
+        assert not math.isclose(myopic, t_star, rel_tol=0.05)
+        ratio = s.expected_work(p, c) / geometric_decreasing_optimal_work(a, c)
+        assert 0.8 < ratio < 1.0
+
+    def test_greedy_suboptimal_for_uniform(self):
+        """Section 6: greedy 'does not [yield the optimum] for the
+        uniform-risk scenario'."""
+        L, c = 400.0, 2.0
+        p = UniformRisk(L)
+        greedy = greedy_schedule(p, c)
+        exact = uniform_optimal_schedule(L, c)
+        assert greedy.expected_work(p, c) < exact.expected_work * (1 - 1e-4)
+
+    def test_greedy_still_decent_for_uniform(self):
+        L, c = 400.0, 2.0
+        p = UniformRisk(L)
+        ratio = greedy_schedule(p, c).expected_work(p, c) / uniform_optimal_schedule(
+            L, c
+        ).expected_work
+        assert ratio > 0.7  # myopia costs ~25%, not catastrophically
+
+    def test_uniform_greedy_periods_halve(self):
+        """Each greedy uniform period takes about half the remaining window."""
+        L, c = 1000.0, 1.0
+        s = greedy_schedule(UniformRisk(L), c)
+        remaining = L
+        for t in s.periods[:5]:
+            assert t == pytest.approx((remaining + c) / 2, rel=1e-3)
+            remaining -= t
+
+    def test_geominc_runs(self):
+        p = GeometricIncreasingRisk(25.0)
+        s = greedy_schedule(p, 0.5)
+        assert s.num_periods >= 1
+        assert s.expected_work(p, 0.5) > 0
+
+    def test_impossible_overhead_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            greedy_schedule(UniformRisk(1.0), 2.0)
+
+    def test_max_periods_respected(self):
+        s = greedy_schedule(GeometricDecreasingLifespan(1.2), 0.5, max_periods=7)
+        assert s.num_periods <= 7

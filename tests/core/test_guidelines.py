@@ -1,0 +1,90 @@
+"""The high-level guideline_schedule API."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.guidelines import guideline_schedule
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    UniformRisk,
+    WeibullLife,
+)
+from repro.core.recurrence import satisfies_recurrence
+from repro.exceptions import CycleStealingError
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["optimize", "lower", "mid", "upper"])
+    def test_all_strategies_produce_schedules(self, paper_life, strategy):
+        res = guideline_schedule(paper_life, 0.5, t0_strategy=strategy, grid=33)
+        assert res.schedule.num_periods >= 1
+        assert res.expected_work >= 0.0
+        assert res.t0_strategy == strategy
+
+    def test_optimize_beats_fixed_points(self, paper_life):
+        c = 0.5
+        best = guideline_schedule(paper_life, c, t0_strategy="optimize", grid=65)
+        for strategy in ("lower", "mid", "upper"):
+            other = guideline_schedule(paper_life, c, t0_strategy=strategy)
+            assert best.expected_work >= other.expected_work - 1e-9
+
+    def test_explicit_t0(self):
+        res = guideline_schedule(UniformRisk(100.0), 1.0, t0=12.0)
+        assert res.t0 == 12.0
+        assert res.t0_strategy == "explicit"
+        assert res.schedule[0] == pytest.approx(12.0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            guideline_schedule(UniformRisk(100.0), 1.0, t0_strategy="best")
+
+    def test_strategy_points_inside_bracket(self):
+        res_lo = guideline_schedule(UniformRisk(100.0), 1.0, t0_strategy="lower")
+        res_hi = guideline_schedule(UniformRisk(100.0), 1.0, t0_strategy="upper")
+        assert res_lo.t0 == pytest.approx(res_lo.bracket.lo)
+        assert res_hi.t0 <= res_hi.bracket.hi
+
+
+class TestOutputs:
+    def test_schedule_satisfies_recurrence(self, paper_life):
+        res = guideline_schedule(paper_life, 0.5, grid=33)
+        if res.schedule.num_periods >= 2:
+            assert satisfies_recurrence(res.schedule, paper_life, 0.5)
+
+    def test_general_shape_fallback(self):
+        p = WeibullLife(k=1.8, scale=10.0)
+        res = guideline_schedule(p, 0.3, grid=33)
+        assert res.schedule.num_periods >= 1
+        assert res.expected_work > 0
+
+    def test_expected_work_consistent(self):
+        p = UniformRisk(200.0)
+        res = guideline_schedule(p, 2.0)
+        assert res.expected_work == pytest.approx(res.schedule.expected_work(p, 2.0))
+
+    def test_bracket_reported(self):
+        res = guideline_schedule(UniformRisk(400.0), 4.0)
+        assert res.bracket.lo == pytest.approx(40.0, rel=1e-6)  # sqrt(cL)
+        assert res.bracket.lo <= res.t0 * 1.5
+
+    def test_overhead_too_large_raises(self):
+        # c exceeding L: the Theorem 3.2 fixed point cannot exist inside the
+        # support (BracketError, a CycleStealingError subclass).
+        with pytest.raises(CycleStealingError):
+            guideline_schedule(UniformRisk(1.0), 1.5, t0_strategy="lower")
+
+    def test_memoryless_equal_periods(self):
+        # The repelling fixed point lets the tail drift; the bulk of the
+        # schedule sits at the optimal equal period.
+        res = guideline_schedule(GeometricDecreasingLifespan(1.4), 1.0)
+        bulk = res.schedule.periods[: min(10, res.schedule.num_periods)]
+        assert np.allclose(bulk, res.t0, rtol=1e-3)
+        from repro.core.exact import geometric_decreasing_optimal_period
+
+        assert res.t0 == pytest.approx(
+            geometric_decreasing_optimal_period(1.4, 1.0), rel=1e-6
+        )

@@ -1,0 +1,167 @@
+"""Base-class behaviour: vectorization, conditionals, hazard, generic inverse."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import (
+    ConditionalLifeFunction,
+    GeometricDecreasingLifespan,
+    LifeFunction,
+    PolynomialRisk,
+    Shape,
+    UniformRisk,
+)
+from repro.exceptions import InvalidLifeFunctionError, SupportError
+
+
+class _GridOnly(LifeFunction):
+    """A family with no closed-form inverse, to exercise the generic path."""
+
+    def __init__(self, lifespan: float) -> None:
+        super().__init__()
+        self._lifespan = lifespan
+
+    def _evaluate(self, t):
+        x = t / self._lifespan
+        return (1.0 - x) ** 2  # quadratic survival, convex
+
+    def _derivative(self, t):
+        x = t / self._lifespan
+        return -2.0 * (1.0 - x) / self._lifespan
+
+    @property
+    def lifespan(self) -> float:
+        return self._lifespan
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.CONVEX
+
+
+class _Increasing(LifeFunction):
+    """Violates monotonicity — must fail validation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _evaluate(self, t):
+        return np.minimum(1.0, 0.5 + 0.1 * t)
+
+    def _derivative(self, t):
+        return np.full_like(t, 0.1)
+
+    @property
+    def lifespan(self) -> float:
+        return 10.0
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.GENERAL
+
+
+def test_scalar_and_array_evaluation_agree():
+    p = UniformRisk(10.0)
+    ts = np.array([0.0, 2.5, 9.0])
+    arr = np.asarray(p(ts))
+    for i, t in enumerate(ts):
+        assert arr[i] == pytest.approx(float(p(float(t))))
+
+
+def test_scalar_input_returns_python_float():
+    p = UniformRisk(10.0)
+    assert isinstance(p(3.0), float)
+    assert isinstance(p.derivative(3.0), float)
+
+
+def test_generic_inverse_matches_closed_form():
+    grid_only = _GridOnly(20.0)
+    ys = np.linspace(0.01, 0.99, 17)
+    ts = np.asarray(grid_only.inverse(ys))
+    assert np.allclose(np.asarray(grid_only(ts)), ys, atol=1e-4)
+
+
+def test_inverse_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        UniformRisk(10.0).inverse(1.5)
+    with pytest.raises(ValueError):
+        UniformRisk(10.0).inverse(-0.1)
+
+
+def test_hazard_rate():
+    p = GeometricDecreasingLifespan(math.e)  # hazard identically 1
+    ts = np.linspace(0.0, 5.0, 7)
+    assert np.allclose(np.asarray(p.hazard(ts)), 1.0)
+
+
+def test_hazard_infinite_where_survival_zero():
+    p = UniformRisk(10.0)
+    assert p.hazard(11.0) == math.inf
+
+
+def test_expected_lifetime_uniform():
+    assert UniformRisk(10.0).expected_lifetime() == pytest.approx(5.0, rel=1e-6)
+
+
+def test_expected_lifetime_exponential():
+    p = GeometricDecreasingLifespan(math.e)  # mean 1
+    assert p.expected_lifetime() == pytest.approx(1.0, rel=1e-4)
+
+
+class TestConditional:
+    def test_starts_at_one(self):
+        cond = UniformRisk(10.0).conditional(4.0)
+        assert cond(0.0) == pytest.approx(1.0)
+
+    def test_uniform_conditional_is_uniform_on_remainder(self):
+        cond = UniformRisk(10.0).conditional(4.0)
+        ref = UniformRisk(6.0)
+        ts = np.linspace(0.0, 6.0, 13)
+        assert np.allclose(np.asarray(cond(ts)), np.asarray(ref(ts)))
+
+    def test_lifespan_shrinks(self):
+        cond = UniformRisk(10.0).conditional(4.0)
+        assert cond.lifespan == pytest.approx(6.0)
+
+    def test_shape_inherited(self):
+        assert PolynomialRisk(3, 10.0).conditional(2.0).shape is Shape.CONCAVE
+
+    def test_conditioning_past_lifespan_rejected(self):
+        with pytest.raises(SupportError):
+            UniformRisk(10.0).conditional(10.0)
+        with pytest.raises(SupportError):
+            UniformRisk(10.0).conditional(-1.0)
+
+    def test_is_conditional_type(self):
+        assert isinstance(UniformRisk(10.0).conditional(1.0), ConditionalLifeFunction)
+
+    def test_derivative_scaling(self):
+        p = PolynomialRisk(2, 10.0)
+        cond = p.conditional(3.0)
+        t = 2.0
+        expected = float(p.derivative(3.0 + t)) / float(p(3.0))
+        assert cond.derivative(t) == pytest.approx(expected)
+
+
+def test_validate_rejects_increasing():
+    with pytest.raises(InvalidLifeFunctionError):
+        _Increasing().validate()
+
+
+def test_validate_rejects_bad_start():
+    class BadStart(_GridOnly):
+        def _evaluate(self, t):
+            return 0.9 * super()._evaluate(t)
+
+    with pytest.raises(InvalidLifeFunctionError):
+        BadStart(10.0).validate()
+
+
+def test_sample_reclaim_within_support(rng):
+    p = _GridOnly(25.0)
+    samples = p.sample_reclaim_times(rng, 1000)
+    assert np.all(samples >= 0)
+    assert np.all(samples <= 25.0)

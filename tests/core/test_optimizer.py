@@ -1,0 +1,135 @@
+"""The numeric ground-truth optimizer and its Theorem 3.1 gradient."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    geometric_decreasing_optimal_work,
+    uniform_optimal_schedule,
+)
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    PolynomialRisk,
+    UniformRisk,
+)
+from repro.core.optimizer import (
+    expected_work_gradient,
+    optimize_fixed_m,
+    optimize_schedule,
+    optimize_t0_via_recurrence,
+)
+
+
+class TestGradient:
+    def test_matches_finite_differences(self):
+        p = PolynomialRisk(2, 50.0)
+        c = 1.0
+        periods = np.array([12.0, 9.0, 6.0, 4.0])
+        grad = expected_work_gradient(periods, p, c)
+
+        def e(x):
+            b = np.cumsum(x)
+            return float(np.dot(x - c, np.asarray(p(b))))
+
+        h = 1e-7
+        for j in range(len(periods)):
+            bump = periods.copy()
+            bump[j] += h
+            dip = periods.copy()
+            dip[j] -= h
+            numeric = (e(bump) - e(dip)) / (2 * h)
+            assert grad[j] == pytest.approx(numeric, rel=1e-5, abs=1e-8)
+
+    def test_zero_gradient_is_theorem_31(self):
+        """At the exact uniform optimum, ∂E/∂t_j = 0 — i.e. system (3.1)."""
+        L, c = 200.0, 2.0
+        res = uniform_optimal_schedule(L, c)
+        grad = expected_work_gradient(res.schedule.periods, UniformRisk(L), c)
+        assert np.max(np.abs(grad)) < 1e-8
+
+
+class TestFixedM:
+    def test_single_period_uniform(self):
+        """m=1: maximize (t-c)(1-t/L); optimum t = (L+c)/2."""
+        L, c = 100.0, 4.0
+        res = optimize_fixed_m(UniformRisk(L), c, 1)
+        assert res.t0 == pytest.approx((L + c) / 2, rel=1e-6)
+        assert res.expected_work == pytest.approx((L - c) ** 2 / (4 * L), rel=1e-9)
+
+    def test_recovers_uniform_optimum(self):
+        L, c = 150.0, 2.0
+        exact = uniform_optimal_schedule(L, c)
+        res = optimize_fixed_m(UniformRisk(L), c, exact.num_periods)
+        # SLSQP from a generic start converges to ~1e-4 relative; the sweep's
+        # ramp multi-start recovers the exact value (see TestSweep).
+        assert res.expected_work == pytest.approx(exact.expected_work, rel=1e-3)
+
+    def test_m_too_large_strips_pinned_periods(self):
+        L, c = 50.0, 2.0
+        res = optimize_fixed_m(UniformRisk(L), c, 40)
+        # Excess periods pin to c (zero work) and are stripped.
+        assert res.schedule.num_periods < 40
+        assert np.all(res.schedule.periods > c)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            optimize_fixed_m(UniformRisk(10.0), 1.0, 0)
+
+    def test_bad_t_init_length(self):
+        with pytest.raises(ValueError):
+            optimize_fixed_m(UniformRisk(10.0), 1.0, 2, t_init=[5.0])
+
+
+class TestSweep:
+    def test_uniform_ground_truth(self):
+        L, c = 300.0, 2.0
+        exact = uniform_optimal_schedule(L, c)
+        res = optimize_schedule(UniformRisk(L), c)
+        assert res.expected_work == pytest.approx(exact.expected_work, rel=1e-7)
+
+    def test_geomdec_ground_truth(self):
+        a, c = 1.3, 1.0
+        closed = geometric_decreasing_optimal_work(a, c)
+        res = optimize_schedule(GeometricDecreasingLifespan(a), c)
+        # Truncated NLP should approach the infinite-schedule closed form.
+        assert res.expected_work == pytest.approx(closed, rel=1e-3)
+        assert res.expected_work <= closed + 1e-9
+
+    def test_geominc_structure(self):
+        res = optimize_schedule(GeometricIncreasingRisk(30.0), 1.0)
+        # Concave: strictly decreasing periods (Corollary 5.1).
+        assert np.all(np.diff(res.schedule.periods) < 0)
+
+
+class TestT0Recurrence:
+    def test_uniform_matches_exact(self):
+        L, c = 400.0, 2.0
+        exact = uniform_optimal_schedule(L, c)
+        t0, outcome, ew = optimize_t0_via_recurrence(UniformRisk(L), c)
+        assert ew == pytest.approx(exact.expected_work, rel=1e-9)
+        assert t0 == pytest.approx(exact.t0, rel=1e-4)
+
+    def test_geomdec_finds_fixed_point(self):
+        from repro.core.exact import geometric_decreasing_optimal_period
+
+        a, c = 1.2, 0.5
+        t0, outcome, ew = optimize_t0_via_recurrence(GeometricDecreasingLifespan(a), c)
+        t_star = geometric_decreasing_optimal_period(a, c)
+        assert t0 == pytest.approx(t_star, rel=1e-3)
+        closed = geometric_decreasing_optimal_work(a, c)
+        assert ew == pytest.approx(closed, rel=1e-4)
+
+    def test_custom_bracket(self):
+        from repro.types import Bracket
+
+        L, c = 100.0, 1.0
+        t0, _, ew = optimize_t0_via_recurrence(
+            UniformRisk(L), c, bracket=Bracket(5.0, 30.0)
+        )
+        assert 5.0 / 1.5 <= t0 <= 30.0 * 1.5
+        assert ew > 0

@@ -1,0 +1,113 @@
+"""Shifts, perturbations, and Theorem 5.1 local optimality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.guidelines import guideline_schedule
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    PolynomialRisk,
+    UniformRisk,
+)
+from repro.core.perturbation import (
+    is_locally_optimal,
+    perturbation_gain,
+    perturbation_margins,
+    perturbed,
+    shift_gain,
+    shifted,
+)
+from repro.core.schedule import Schedule
+from repro.exceptions import InvalidScheduleError
+
+
+class TestEditConstructors:
+    def test_shift_changes_one_period(self):
+        s = Schedule([5.0, 4.0, 3.0])
+        up = shifted(s, 1, 0.5)
+        assert list(up) == [5.0, 4.5, 3.0]
+        down = shifted(s, 1, -0.5)
+        assert list(down) == [5.0, 3.5, 3.0]
+
+    def test_shift_cannot_kill_period(self):
+        with pytest.raises(InvalidScheduleError):
+            shifted(Schedule([5.0, 4.0]), 1, -4.0)
+
+    def test_perturbation_preserves_later_boundaries(self):
+        s = Schedule([5.0, 4.0, 3.0])
+        q = perturbed(s, 0, 1.0)
+        assert list(q) == [6.0, 3.0, 3.0]
+        assert q.total_length == pytest.approx(s.total_length)
+
+    def test_perturbation_needs_successor(self):
+        with pytest.raises(InvalidScheduleError):
+            perturbed(Schedule([5.0, 4.0]), 1, 0.5)
+
+    def test_perturbation_feasibility(self):
+        with pytest.raises(InvalidScheduleError):
+            perturbed(Schedule([5.0, 4.0]), 0, 4.0)
+
+
+class TestTheorem51:
+    """Recurrence-satisfying schedules beat all [k, ±δ] perturbations
+    (concave life functions)."""
+
+    @pytest.mark.parametrize("factory,c", [
+        (lambda: UniformRisk(200.0), 2.0),
+        (lambda: PolynomialRisk(2, 100.0), 1.0),
+        (lambda: PolynomialRisk(4, 100.0), 1.0),
+    ])
+    def test_local_optimality_concave(self, factory, c):
+        p = factory()
+        res = guideline_schedule(p, c, grid=65)
+        if res.schedule.num_periods < 2:
+            pytest.skip("needs at least two periods")
+        report = perturbation_margins(res.schedule, p, c)
+        assert report.max_gain <= 1e-10
+        assert is_locally_optimal(res.schedule, p, c)
+
+    def test_strict_inferiority_of_large_perturbations(self):
+        p = UniformRisk(300.0)
+        c = 2.0
+        res = guideline_schedule(p, c)
+        base = res.expected_work
+        gain = perturbation_gain(res.schedule, p, c, 0, 0.25 * res.schedule[1])
+        assert gain < 0
+
+    def test_non_optimal_schedule_detected(self):
+        p = UniformRisk(100.0)
+        c = 1.0
+        bad = Schedule([10.0, 10.0, 10.0])  # violates the decrement law
+        report = perturbation_margins(bad, p, c)
+        assert report.max_gain > 0
+        assert not is_locally_optimal(bad, p, c)
+
+    def test_single_period_trivially_optimal(self):
+        report = perturbation_margins(Schedule([5.0]), UniformRisk(10.0), 1.0)
+        assert report.locally_optimal
+
+
+class TestShiftsAndTheorem31:
+    def test_optimal_schedule_resists_shifts(self):
+        """Theorem 3.1's proof: no ⟨k, ±δ⟩ shift improves an optimal schedule."""
+        from repro.core.exact import uniform_optimal_schedule
+
+        L, c = 200.0, 2.0
+        p = UniformRisk(L)
+        res = uniform_optimal_schedule(L, c)
+        for k in range(res.num_periods):
+            for delta in (0.01, 0.1, 1.0):
+                assert shift_gain(res.schedule, p, c, k, delta) <= 1e-9
+                if res.schedule[k] > delta:
+                    assert shift_gain(res.schedule, p, c, k, -delta) <= 1e-9
+
+    def test_geomdec_equal_periods_resist_perturbation(self):
+        from repro.core.exact import geometric_decreasing_optimal_schedule
+
+        a, c = 1.3, 0.7
+        p = GeometricDecreasingLifespan(a)
+        res = geometric_decreasing_optimal_schedule(a, c)
+        report = perturbation_margins(res.schedule, p, c)
+        assert report.max_gain <= 1e-9

@@ -1,0 +1,53 @@
+"""Proposition 2.1: the productive-schedule transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import GeometricIncreasingRisk, UniformRisk
+from repro.core.productive import is_productive, make_productive
+from repro.core.schedule import Schedule
+
+
+class TestMakeProductive:
+    def test_drops_unproductive_periods(self):
+        s = Schedule([5.0, 0.5, 3.0, 0.2, 2.0])
+        out = make_productive(s, 1.0)
+        assert list(out) == [5.0, 3.0, 2.0]
+        assert is_productive(out, 1.0)
+
+    def test_never_decreases_expected_work(self):
+        p = UniformRisk(50.0)
+        c = 1.0
+        s = Schedule([5.0, 0.5, 3.0, 0.9, 2.0])
+        out = make_productive(s, c)
+        assert out.expected_work(p, c) >= s.expected_work(p, c)
+
+    def test_strictly_increases_when_later_work_exists(self):
+        p = UniformRisk(50.0)
+        c = 1.0
+        s = Schedule([5.0, 0.5, 3.0])
+        out = make_productive(s, c)
+        assert out.expected_work(p, c) > s.expected_work(p, c)
+
+    def test_already_productive_unchanged(self):
+        s = Schedule([5.0, 3.0, 2.0])
+        assert make_productive(s, 1.0) == s
+
+    def test_all_unproductive_keeps_longest(self):
+        s = Schedule([0.5, 0.9, 0.3])
+        out = make_productive(s, 1.0)
+        assert list(out) == [0.9]
+
+    def test_gain_across_families(self, paper_life):
+        c = 1.0
+        s = Schedule([8.0, 0.5, 4.0, 0.5, 2.0])
+        out = make_productive(s, c)
+        assert out.expected_work(paper_life, c) >= s.expected_work(paper_life, c) - 1e-12
+
+    def test_boundary_period_exactly_c(self):
+        # t == c is unproductive (work t - c = 0): dropped.
+        s = Schedule([5.0, 1.0, 3.0])
+        out = make_productive(s, 1.0)
+        assert list(out) == [5.0, 3.0]

@@ -1,0 +1,85 @@
+"""Section 6's progressive (conditional-probability) scheduler."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exact import geometric_decreasing_optimal_period
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    PolynomialRisk,
+    UniformRisk,
+)
+from repro.core.progressive import ProgressiveScheduler, progressive_schedule
+
+
+class TestMemoryless:
+    def test_equal_periods_at_fixed_point(self):
+        """Conditioning a memoryless p changes nothing, so every re-planned
+        period equals the first — which is [3]'s optimum."""
+        a, c = 1.3, 0.8
+        sched = progressive_schedule(GeometricDecreasingLifespan(a), c, max_periods=6)
+        t_star = geometric_decreasing_optimal_period(a, c)
+        assert np.allclose(sched.periods, sched.periods[0], rtol=1e-4)
+        assert sched.periods[0] == pytest.approx(t_star, rel=1e-3)
+
+
+class TestUniform:
+    def test_periods_track_remaining_window(self):
+        """For uniform risk, the conditional is uniform on [0, L - s], so each
+        progressive period ≈ the optimal t0 of the shrunken problem."""
+        L, c = 400.0, 2.0
+        scheduler = ProgressiveScheduler(UniformRisk(L), c)
+        t_first = scheduler.next_period()
+        assert t_first == pytest.approx(math.sqrt(2 * c * L), rel=0.08)
+        scheduler.advance(t_first)
+        t_second = scheduler.next_period()
+        assert t_second == pytest.approx(math.sqrt(2 * c * (L - t_first)), rel=0.08)
+        assert t_second < t_first
+
+    def test_full_schedule_decreasing(self):
+        sched = progressive_schedule(UniformRisk(300.0), 2.0)
+        assert np.all(np.diff(sched.periods) < 0)
+        assert sched.total_length <= 300.0 + 1e-6
+
+    def test_near_optimal_expected_work(self):
+        from repro.core.exact import uniform_optimal_schedule
+
+        L, c = 300.0, 2.0
+        p = UniformRisk(L)
+        prog = progressive_schedule(p, c)
+        exact = uniform_optimal_schedule(L, c)
+        ratio = prog.expected_work(p, c) / exact.expected_work
+        assert 0.9 < ratio <= 1.0 + 1e-9
+
+
+class TestLifecycle:
+    def test_stops_at_exhausted_window(self):
+        scheduler = ProgressiveScheduler(UniformRisk(10.0), c=3.0)
+        periods = list(scheduler.periods())
+        assert sum(periods) <= 10.0
+        assert scheduler.next_period() is None  # stays stopped
+
+    def test_reset(self):
+        scheduler = ProgressiveScheduler(UniformRisk(100.0), c=1.0)
+        first = scheduler.next_period()
+        scheduler.advance(first)
+        scheduler.reset()
+        assert scheduler.next_period() == pytest.approx(first, rel=1e-9)
+
+    def test_advance_validates(self):
+        scheduler = ProgressiveScheduler(UniformRisk(100.0), c=1.0)
+        with pytest.raises(ValueError):
+            scheduler.advance(0.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressiveScheduler(UniformRisk(100.0), c=-1.0)
+
+    def test_concave_family_terminates(self):
+        sched = progressive_schedule(PolynomialRisk(2, 80.0), 1.0)
+        assert sched.num_periods < 100
+        assert sched.total_length <= 80.0 + 1e-6

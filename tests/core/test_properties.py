@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Each property pins one of the paper's structural claims over randomized
+instances: the Proposition 2.1 transform never loses expected work, the
+recurrence engine's output always satisfies system (3.6), Theorem 5.1 local
+optimality, the decrement laws on generated schedules, bound ordering, and
+the episode accounting identities.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    PolynomialRisk,
+    UniformRisk,
+)
+from repro.core.perturbation import perturbation_margins
+from repro.core.productive import make_productive
+from repro.core.recurrence import generate_schedule, satisfies_recurrence
+from repro.core.schedule import Schedule
+from repro.core.structure import (
+    satisfies_concave_decrements,
+    satisfies_convex_decrements,
+)
+from repro.core.t0_bounds import max_periods_bound
+from repro.simulation.episode import realized_work
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+periods_strategy = st.lists(
+    st.floats(min_value=0.05, max_value=50.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+)
+
+overhead_strategy = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+
+
+@st.composite
+def life_functions(draw):
+    kind = draw(st.sampled_from(["uniform", "poly", "geomdec", "geominc"]))
+    if kind == "uniform":
+        return UniformRisk(draw(st.floats(min_value=5.0, max_value=500.0)))
+    if kind == "poly":
+        return PolynomialRisk(
+            draw(st.integers(min_value=1, max_value=5)),
+            draw(st.floats(min_value=5.0, max_value=500.0)),
+        )
+    if kind == "geomdec":
+        return GeometricDecreasingLifespan(draw(st.floats(min_value=1.01, max_value=3.0)))
+    return GeometricIncreasingRisk(draw(st.floats(min_value=5.0, max_value=100.0)))
+
+
+@st.composite
+def concave_life_functions(draw):
+    kind = draw(st.sampled_from(["uniform", "poly", "geominc"]))
+    if kind == "uniform":
+        return UniformRisk(draw(st.floats(min_value=10.0, max_value=300.0)))
+    if kind == "poly":
+        return PolynomialRisk(
+            draw(st.integers(min_value=2, max_value=5)),
+            draw(st.floats(min_value=10.0, max_value=300.0)),
+        )
+    return GeometricIncreasingRisk(draw(st.floats(min_value=8.0, max_value=60.0)))
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(periods=periods_strategy, c=overhead_strategy, p=life_functions())
+def test_productive_transform_never_loses_work(periods, c, p):
+    s = Schedule(periods)
+    out = make_productive(s, c)
+    assert out.expected_work(p, c) >= s.expected_work(p, c) - 1e-12
+    if out.num_periods > 1:
+        assert np.all(out.periods > c)
+
+
+@settings(max_examples=60, deadline=None)
+@given(periods=periods_strategy, c=overhead_strategy, p=life_functions())
+def test_expected_work_nonnegative_and_bounded(periods, c, p):
+    """0 <= E(S; p) <= total productive work."""
+    s = Schedule(periods)
+    ew = s.expected_work(p, c)
+    assert ew >= 0.0
+    assert ew <= float(np.sum(s.work_per_period(c))) + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(periods=periods_strategy, c=overhead_strategy, p=life_functions())
+def test_expected_work_is_expectation_of_realized(periods, c, p, ):
+    """E(S; p) equals the exact expectation of realized work under p,
+    computed by integrating over the per-period survival probabilities."""
+    s = Schedule(periods)
+    survival = np.asarray(p(s.boundaries), dtype=float)
+    manual = float(np.dot(s.work_per_period(c), survival))
+    assert s.expected_work(p, c) == pytest.approx(manual, rel=1e-12, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=life_functions(),
+    c=st.floats(min_value=0.05, max_value=2.0),
+    frac=st.floats(min_value=0.05, max_value=0.8),
+)
+def test_generated_schedules_satisfy_recurrence(p, c, frac):
+    horizon = p.lifespan if math.isfinite(p.lifespan) else float(p.inverse(1e-6))
+    t0 = c + frac * (horizon - c)
+    assume(t0 > c * 1.01)
+    out = generate_schedule(p, c, t0)
+    if out.schedule.num_periods >= 2:
+        assert satisfies_recurrence(out.schedule, p, c, atol=1e-6)
+    assert np.all(out.schedule.periods > c)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=concave_life_functions(),
+    c=st.floats(min_value=0.1, max_value=2.0),
+    frac=st.floats(min_value=0.1, max_value=0.6),
+)
+def test_theorem_51_local_optimality_concave(p, c, frac):
+    """Any recurrence-satisfying schedule for concave p beats its
+    perturbations (Theorem 5.1) — regardless of whether t0 is optimal."""
+    t0 = c + frac * (p.lifespan - c)
+    assume(t0 > c * 1.05)
+    out = generate_schedule(p, c, t0)
+    assume(out.schedule.num_periods >= 2)
+    report = perturbation_margins(out.schedule, p, c)
+    assert report.max_gain <= 1e-9 * max(1.0, out.schedule.expected_work(p, c))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=concave_life_functions(),
+    c=st.floats(min_value=0.1, max_value=2.0),
+    frac=st.floats(min_value=0.1, max_value=0.6),
+)
+def test_concave_decrement_law_on_generated(p, c, frac):
+    """Theorem 5.2 for concave p: recurrence-generated periods decrease by
+    at least c per step (up to the dropped final period)."""
+    t0 = c + frac * (p.lifespan - c)
+    assume(t0 > c * 1.05)
+    out = generate_schedule(p, c, t0)
+    assume(out.schedule.num_periods >= 2)
+    assert satisfies_concave_decrements(out.schedule, c, tol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.floats(min_value=1.05, max_value=2.5),
+    c=st.floats(min_value=0.05, max_value=1.5),
+    frac=st.floats(min_value=0.2, max_value=0.95),
+)
+def test_convex_decrement_law_on_generated(a, c, frac):
+    """Theorem 5.2 for convex p: decrements at most c."""
+    p = GeometricDecreasingLifespan(a)
+    limit = c + 1.0 / math.log(a)
+    t0 = c + frac * (limit - c)
+    assume(t0 > c * 1.05)
+    out = generate_schedule(p, c, t0, max_periods=200)
+    assume(out.schedule.num_periods >= 2)
+    assert satisfies_convex_decrements(out.schedule, c, tol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=concave_life_functions(),
+    c=st.floats(min_value=0.1, max_value=2.0),
+    frac=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_corollary_52_53_period_counts(p, c, frac):
+    """Generated schedules respect the concave period-count bounds."""
+    t0 = c + frac * (p.lifespan - c)
+    assume(t0 > c * 1.05)
+    out = generate_schedule(p, c, t0)
+    m = out.schedule.num_periods
+    assert m <= t0 / c + 1 + 1e-9
+    assert m < max_periods_bound(p.lifespan, c) + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    periods=periods_strategy,
+    c=overhead_strategy,
+    reclaim=st.floats(min_value=0.0, max_value=200.0),
+)
+def test_realized_work_monotone_in_reclaim(periods, c, reclaim):
+    """Later reclaims never bank less work."""
+    s = Schedule(periods)
+    w1 = s.realized_work(reclaim, c)
+    w2 = s.realized_work(reclaim + 1.0, c)
+    assert w2 >= w1
+    assert w1 >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(periods=periods_strategy, c=overhead_strategy)
+def test_realized_work_batch_matches_scalar(periods, c):
+    s = Schedule(periods)
+    rs = np.linspace(0.0, s.total_length * 1.5 + 1.0, 23)
+    batch = realized_work(s, rs, c)
+    for r, w in zip(rs, batch):
+        assert w == pytest.approx(s.realized_work(float(r), c))
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=life_functions(), q=st.floats(min_value=0.001, max_value=0.999))
+def test_inverse_round_trip_property(p, q):
+    t = float(p.inverse(q))
+    assert float(p(t)) == pytest.approx(q, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=life_functions(),
+    s=st.floats(min_value=0.1, max_value=20.0),
+    t=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_conditional_consistency(p, s, t):
+    """p(s+t) = p(s) * p_s(t) — the chain rule of survival."""
+    assume(float(p(s)) > 1e-9)
+    assume(s + t <= p.lifespan or math.isinf(p.lifespan))
+    cond = p.conditional(s)
+    assert float(p(s + t)) == pytest.approx(float(p(s)) * float(cond(t)), rel=1e-9, abs=1e-12)

@@ -1,0 +1,195 @@
+"""Schedule value type and expected-work accounting (eq. 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import GeometricDecreasingLifespan, UniformRisk
+from repro.core.schedule import Schedule, expected_work, truncate_infinite
+from repro.exceptions import InvalidScheduleError
+from repro.types import positive_subtraction
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = Schedule([3.0, 2.0, 1.0])
+        assert s.num_periods == 3
+        assert s.total_length == pytest.approx(6.0)
+        assert np.allclose(s.boundaries, [3.0, 5.0, 6.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([1.0, 0.0])
+        with pytest.raises(InvalidScheduleError):
+            Schedule([1.0, -2.0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([1.0, np.inf])
+        with pytest.raises(InvalidScheduleError):
+            Schedule([np.nan])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(np.ones((2, 2)))
+
+    def test_immutable(self):
+        s = Schedule([1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.periods[0] = 5.0
+
+    def test_equality_and_hash(self):
+        a = Schedule([1.0, 2.0])
+        b = Schedule([1.0, 2.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Schedule([1.0, 2.5])
+
+    def test_iteration_and_indexing(self):
+        s = Schedule([1.0, 2.0, 3.0])
+        assert list(s) == [1.0, 2.0, 3.0]
+        assert s[1] == 2.0
+        assert len(s) == 3
+
+    def test_start_of(self):
+        s = Schedule([1.0, 2.0, 3.0])
+        assert s.start_of(0) == 0.0
+        assert s.start_of(2) == pytest.approx(3.0)
+        with pytest.raises(IndexError):
+            s.start_of(3)
+
+
+class TestWorkAccounting:
+    def test_positive_subtraction_operator(self):
+        assert positive_subtraction(5.0, 2.0) == 3.0
+        assert positive_subtraction(1.0, 2.0) == 0.0
+        assert np.allclose(positive_subtraction(np.array([3.0, 1.0]), 2.0), [1.0, 0.0])
+
+    def test_work_per_period(self):
+        s = Schedule([5.0, 1.0, 3.0])
+        assert np.allclose(s.work_per_period(2.0), [3.0, 0.0, 1.0])
+
+    def test_expected_work_by_hand(self):
+        # E = (t0-c) p(T0) + (t1-c) p(T1) for p = 1 - t/10, c = 1.
+        p = UniformRisk(10.0)
+        s = Schedule([4.0, 3.0])
+        expected = 3.0 * 0.6 + 2.0 * 0.3
+        assert expected_work(s, p, 1.0) == pytest.approx(expected)
+        assert s.expected_work(p, 1.0) == pytest.approx(expected)
+
+    def test_unproductive_periods_contribute_zero(self):
+        p = UniformRisk(10.0)
+        with_pad = Schedule([4.0, 0.5, 3.0])
+        # The 0.5 period contributes no work but delays the last boundary.
+        expected = 3.0 * float(p(4.0)) + 2.0 * float(p(7.5))
+        assert with_pad.expected_work(p, 1.0) == pytest.approx(expected)
+
+    def test_boundaries_beyond_lifespan_contribute_zero(self):
+        p = UniformRisk(10.0)
+        s = Schedule([6.0, 6.0])
+        assert s.expected_work(p, 1.0) == pytest.approx(5.0 * 0.4)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([1.0]).expected_work(UniformRisk(10.0), -0.5)
+
+    def test_realized_work_semantics(self):
+        s = Schedule([4.0, 3.0])
+        c = 1.0
+        # Reclaim before the first boundary: nothing banked.
+        assert s.realized_work(3.9, c) == 0.0
+        # Reclaim exactly at T_0 kills period 0 ("reclaimed BY time T_k").
+        assert s.realized_work(4.0, c) == 0.0
+        # Reclaim inside period 1: only period 0 banked.
+        assert s.realized_work(5.0, c) == pytest.approx(3.0)
+        # Reclaim after everything: both banked.
+        assert s.realized_work(100.0, c) == pytest.approx(5.0)
+
+    def test_productive_mask_and_flag(self):
+        s = Schedule([4.0, 0.5, 3.0])
+        assert list(s.productive_mask(1.0)) == [True, False, True]
+        assert not s.is_productive(1.0)
+        assert Schedule([4.0, 3.0, 0.5]).is_productive(1.0)  # last may be <= c
+
+
+class TestEdits:
+    def test_with_period(self):
+        s = Schedule([1.0, 2.0]).with_period(0, 5.0)
+        assert list(s) == [5.0, 2.0]
+
+    def test_drop_period(self):
+        s = Schedule([1.0, 2.0, 3.0]).drop_period(1)
+        assert list(s) == [1.0, 3.0]
+        with pytest.raises(InvalidScheduleError):
+            Schedule([1.0]).drop_period(0)
+
+    def test_merge_first_two(self):
+        s = Schedule([1.0, 2.0, 3.0]).merge_first_two()
+        assert list(s) == [3.0, 3.0]
+        with pytest.raises(InvalidScheduleError):
+            Schedule([1.0]).merge_first_two()
+
+    def test_split_first(self):
+        s = Schedule([4.0, 1.0]).split_first(1.5)
+        assert list(s) == [1.5, 2.5, 1.0]
+        with pytest.raises(InvalidScheduleError):
+            Schedule([4.0]).split_first(4.0)
+
+    def test_merge_theorem_32_identity(self):
+        """The merge comparison from Theorem 3.2's proof:
+        E(S) - E(S~) = (t0 - c) p(t0) - t0 p(T1)."""
+        p = UniformRisk(20.0)
+        c = 1.0
+        s = Schedule([5.0, 4.0, 3.0])
+        merged = s.merge_first_two()
+        lhs = s.expected_work(p, c) - merged.expected_work(p, c)
+        t0, T1 = 5.0, 9.0
+        rhs = (t0 - c) * float(p(t0)) - t0 * float(p(T1))
+        assert lhs == pytest.approx(rhs)
+
+    def test_split_lemma_31_identity(self):
+        """The split comparison from Lemma 3.1's proof:
+        E(S^) - E(S) = (t^ - c) p(t^) - t^ p(t0)."""
+        p = UniformRisk(20.0)
+        c = 1.0
+        s = Schedule([8.0, 4.0])
+        t_hat = 3.0
+        split = s.split_first(t_hat)
+        lhs = split.expected_work(p, c) - s.expected_work(p, c)
+        rhs = (t_hat - c) * float(p(t_hat)) - t_hat * float(p(8.0))
+        assert lhs == pytest.approx(rhs)
+
+
+class TestTruncateInfinite:
+    def test_constant_periods_geometric_decay(self):
+        p = GeometricDecreasingLifespan(1.5)
+        s = truncate_infinite(lambda i: 4.0, p, 1.0, tol=1e-12)
+        # Tail error relative to the closed form is below tol.
+        q = 1.5 ** (-4.0)
+        closed = 3.0 * q / (1 - q)
+        assert s.expected_work(p, 1.0) == pytest.approx(closed, rel=1e-10)
+
+    def test_finite_iterable_allowed(self):
+        p = UniformRisk(10.0)
+        s = truncate_infinite([4.0, 3.0], p, 1.0)
+        assert s.num_periods == 2
+
+    def test_stops_at_lifespan(self):
+        p = UniformRisk(10.0)
+        s = truncate_infinite(lambda i: 3.0, p, 1.0)
+        assert s.total_length >= 10.0
+        assert s.num_periods == 4
+
+    def test_nonconvergent_raises(self):
+        p = GeometricDecreasingLifespan(1.0 + 1e-9)  # decays extremely slowly
+        with pytest.raises(InvalidScheduleError):
+            truncate_infinite(lambda i: 1e-6 + 2.0, p, 2.0, max_periods=50)
+
+    def test_empty_source_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            truncate_infinite([], UniformRisk(10.0), 1.0)

@@ -1,0 +1,201 @@
+"""Theorem 3.2/3.3 brackets, Section 4 closed forms, Section 5 refinements."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    geometric_decreasing_optimal_period,
+    uniform_optimal_schedule,
+    uniform_t0_asymptotic,
+)
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    PolynomialRisk,
+    Shape,
+    UniformRisk,
+    WeibullLife,
+)
+from repro.core.t0_bounds import (
+    geometric_decreasing_bracket,
+    geometric_increasing_window,
+    lower_bound_t0,
+    max_periods_bound,
+    polynomial_bracket,
+    t0_bracket,
+    t0_lower_bound_cor54,
+    t0_lower_bound_cor55,
+    theorem_32_rhs,
+    uniform_bracket,
+    upper_bound_t0,
+)
+
+
+class TestImplicitBounds:
+    def test_uniform_closed_form_agreement(self):
+        """For p = 1 - t/L, (3.7) becomes t >= sqrt(c^2/4 + c(L - t)) + c/2,
+        solvable by hand; the generic solver must match."""
+        L, c = 100.0, 1.0
+        p = UniformRisk(L)
+        lo = lower_bound_t0(p, c)
+        # Fixed point: (t - c/2)^2 = c^2/4 + cL - ct  =>  t^2 = cL.
+        assert lo == pytest.approx(math.sqrt(c * L), rel=1e-6)
+
+    def test_lower_bound_below_upper(self, paper_life):
+        c = 0.5
+        if paper_life.shape is Shape.GENERAL:
+            pytest.skip("Theorem 3.3 needs convex/concave")
+        br = t0_bracket(paper_life, c)
+        assert br.lo <= br.hi
+
+    def test_bracket_contains_numeric_optimum_uniform(self):
+        L, c = 400.0, 2.0
+        br = t0_bracket(UniformRisk(L), c)
+        exact = uniform_optimal_schedule(L, c)
+        assert br.contains(exact.t0, rtol=1e-6)
+
+    def test_bracket_contains_optimum_geomdec(self):
+        a, c = 1.2, 1.0
+        br = t0_bracket(GeometricDecreasingLifespan(a), c)
+        t_star = geometric_decreasing_optimal_period(a, c)
+        assert br.contains(t_star, rtol=1e-6)
+
+    def test_bracket_factor_of_two_ish(self):
+        """Paper: bounds 'bracket t_0 ... within a factor of 2' for many
+        smooth life functions."""
+        for p in (UniformRisk(300.0), PolynomialRisk(2, 300.0), PolynomialRisk(4, 300.0)):
+            br = t0_bracket(p, 1.0)
+            assert br.ratio < 2.6
+
+    def test_theorem_32_rhs_infinite_at_flat_derivative(self):
+        p = GeometricIncreasingRisk(40.0)
+        # p'(t) == 0 beyond the lifespan -> vacuous bound.
+        assert theorem_32_rhs(p, 1.0, 45.0) == math.inf
+
+    def test_general_shape_rejected_for_upper(self):
+        with pytest.raises(ValueError):
+            upper_bound_t0(WeibullLife(k=2.0, scale=10.0), 1.0)
+
+    def test_shape_override(self):
+        # Weibull k>1 is GENERAL but numerically concave-ish near 0; passing
+        # an explicit shape must produce a finite bound without raising.
+        val = upper_bound_t0(WeibullLife(k=2.0, scale=10.0), 0.5, shape=Shape.CONCAVE)
+        assert val > 0
+
+    def test_negative_c_rejected(self):
+        with pytest.raises(ValueError):
+            lower_bound_t0(UniformRisk(10.0), -1.0)
+        with pytest.raises(ValueError):
+            upper_bound_t0(UniformRisk(10.0), -1.0)
+
+    def test_zero_c_lower_bound_zero(self):
+        assert lower_bound_t0(UniformRisk(10.0), 0.0) == 0.0
+
+
+class TestSection4ClosedForms:
+    def test_uniform_bracket_eq_44(self):
+        L, c = 900.0, 4.0
+        br = uniform_bracket(L, c)
+        assert br.lo == pytest.approx(math.sqrt(c * L))
+        assert br.hi == pytest.approx(2 * math.sqrt(c * L) + 1)
+
+    def test_uniform_bracket_contains_sqrt_2cL(self):
+        """(4.4) vs (4.5): sqrt(cL) <= sqrt(2cL) <= 2 sqrt(cL) + 1."""
+        for L in (50.0, 500.0, 5000.0):
+            for c in (0.5, 2.0, 10.0):
+                br = uniform_bracket(L, c)
+                assert br.contains(uniform_t0_asymptotic(L, c))
+
+    def test_polynomial_bracket_scaling(self):
+        d, L, c = 3, 1000.0, 2.0
+        br = polynomial_bracket(d, L, c)
+        base = (c / d) ** (1 / (d + 1)) * L ** (d / (d + 1))
+        assert br.lo == pytest.approx(base)
+        assert br.hi == pytest.approx(2 * base + 1)
+
+    def test_polynomial_bracket_matches_implicit_solver(self):
+        """The generic Theorem 3.2/3.3 solver should land near the Section 4
+        simplifications (they drop low-order terms, so agreement is loose)."""
+        d, L, c = 2, 500.0, 1.0
+        p = PolynomialRisk(d, L)
+        closed = polynomial_bracket(d, L, c)
+        implicit = t0_bracket(p, c)
+        assert implicit.lo == pytest.approx(closed.lo, rel=0.35)
+        assert implicit.hi == pytest.approx(closed.hi, rel=0.35)
+
+    def test_geometric_decreasing_bracket(self):
+        a, c = 1.4, 0.8
+        br = geometric_decreasing_bracket(a, c)
+        ln_a = math.log(a)
+        assert br.lo == pytest.approx(math.sqrt(c * c / 4 + c / ln_a) + c / 2)
+        assert br.hi == pytest.approx(c + 1 / ln_a)
+
+    def test_geometric_decreasing_upper_nearly_tight(self):
+        """Paper: 'Note how close our guidelines' upper bound is to the
+        optimal value.'  Tightness improves as c·ln a grows (measured: the
+        relative gap falls from ~240% at c·ln a = 0.01 to ~16% at 0.7)."""
+        for a in (1.1, 1.5, 2.0):
+            for c in (0.1, 0.5, 1.0):
+                br = geometric_decreasing_bracket(a, c)
+                t_star = geometric_decreasing_optimal_period(a, c)
+                assert br.contains(t_star)
+        # Quantify the trend in the tight regime.
+        for a, c in ((1.5, 1.0), (2.0, 0.5), (2.0, 1.0)):
+            br = geometric_decreasing_bracket(a, c)
+            t_star = geometric_decreasing_optimal_period(a, c)
+            assert (br.hi - t_star) / t_star < 0.45
+
+    def test_geometric_increasing_window(self):
+        L, c = 64.0, 1.0
+        win = geometric_increasing_window(L, c)
+        # t0 = L - Theta(log L): the window straddles that scale.
+        assert L - 4 * math.log2(L) < win.lo <= win.hi <= L
+        # Window edges satisfy their defining equations.
+        assert win.lo + 2 * math.log2(win.lo) == pytest.approx(L, rel=1e-9)
+        assert win.hi / 2 + 2 * math.log2(win.hi) == pytest.approx(L, rel=1e-9) or win.hi == L
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            polynomial_bracket(0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            geometric_decreasing_bracket(1.0, 1.0)
+        with pytest.raises(ValueError):
+            geometric_increasing_window(0.5, 1.0)
+
+
+class TestSection5Refinements:
+    def test_max_periods_bound_formula(self):
+        assert max_periods_bound(100.0, 2.0) == math.ceil(math.sqrt(100.0 + 0.25) + 0.5)
+
+    def test_cor54(self):
+        assert t0_lower_bound_cor54(100.0, 2.0, 5) == pytest.approx(100 / 5 + 4.0)
+        with pytest.raises(ValueError):
+            t0_lower_bound_cor54(100.0, 2.0, 0)
+
+    def test_cor55(self):
+        assert t0_lower_bound_cor55(100.0, 2.0) == pytest.approx(10.0 + 1.5)
+
+    def test_cor55_holds_for_uniform_optimum(self):
+        for L in (100.0, 1000.0):
+            for c in (0.5, 2.0):
+                exact = uniform_optimal_schedule(L, c)
+                assert exact.t0 > t0_lower_bound_cor55(L, c)
+
+    def test_cor54_holds_for_uniform_optimum(self):
+        """Corollary 5.4's proof assumes the schedule spans exactly L; the
+        true optimum leaves a sliver of the lifespan unused, so the bound
+        holds only up to ~c/2 slack (measured; documented in EXPERIMENTS.md)."""
+        L, c = 1000.0, 2.0
+        exact = uniform_optimal_schedule(L, c)
+        bound = t0_lower_bound_cor54(L, c, exact.num_periods)
+        assert exact.t0 >= bound - 0.5 * c - 1e-9
+
+    def test_invalid_period_bound_args(self):
+        with pytest.raises(ValueError):
+            max_periods_bound(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            max_periods_bound(10.0, 0.0)

@@ -1,0 +1,117 @@
+"""Mixtures, time scaling, and shape detection."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    MixtureLife,
+    PolynomialRisk,
+    Shape,
+    TimeScaledLife,
+    UniformRisk,
+    WeibullLife,
+    detect_shape,
+    is_concave,
+    is_convex,
+)
+
+
+class TestMixture:
+    def test_values_are_weighted_sums(self):
+        mix = MixtureLife([UniformRisk(10.0), UniformRisk(20.0)], [0.3, 0.7])
+        ts = np.linspace(0.0, 20.0, 9)
+        expected = 0.3 * np.asarray(UniformRisk(10.0)(ts)) + 0.7 * np.asarray(
+            UniformRisk(20.0)(ts)
+        )
+        assert np.allclose(np.asarray(mix(ts)), expected)
+
+    def test_lifespan_is_max(self):
+        mix = MixtureLife([UniformRisk(10.0), UniformRisk(20.0)], [0.5, 0.5])
+        assert mix.lifespan == 20.0
+
+    def test_unbounded_component_wins(self):
+        mix = MixtureLife(
+            [UniformRisk(10.0), GeometricDecreasingLifespan(1.5)], [0.5, 0.5]
+        )
+        assert math.isinf(mix.lifespan)
+
+    def test_shape_propagation(self):
+        concave = MixtureLife([PolynomialRisk(2, 10.0), UniformRisk(5.0)], [0.5, 0.5])
+        assert concave.shape is Shape.CONCAVE
+        convex = MixtureLife(
+            [GeometricDecreasingLifespan(1.5), GeometricDecreasingLifespan(2.0)],
+            [0.5, 0.5],
+        )
+        assert convex.shape is Shape.CONVEX
+        linear = MixtureLife([UniformRisk(10.0), UniformRisk(20.0)], [0.5, 0.5])
+        assert linear.shape is Shape.LINEAR
+        mixed = MixtureLife(
+            [PolynomialRisk(2, 10.0), GeometricDecreasingLifespan(1.5)], [0.5, 0.5]
+        )
+        assert mixed.shape is Shape.GENERAL
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            MixtureLife([UniformRisk(10.0)], [0.9])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureLife([UniformRisk(10.0), UniformRisk(5.0)], [1.5, -0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureLife([], [])
+
+    def test_validates_as_life_function(self):
+        MixtureLife([UniformRisk(10.0), PolynomialRisk(2, 30.0)], [0.4, 0.6]).validate()
+
+
+class TestTimeScaled:
+    def test_stretch(self):
+        base = UniformRisk(10.0)
+        scaled = TimeScaledLife(base, 3.0)
+        assert scaled.lifespan == pytest.approx(30.0)
+        assert scaled(15.0) == pytest.approx(float(base(5.0)))
+
+    def test_derivative_chain_rule(self):
+        base = PolynomialRisk(2, 10.0)
+        scaled = TimeScaledLife(base, 2.0)
+        t = 6.0
+        assert scaled.derivative(t) == pytest.approx(float(base.derivative(3.0)) / 2.0)
+
+    def test_shape_preserved(self):
+        assert TimeScaledLife(PolynomialRisk(2, 10.0), 5.0).shape is Shape.CONCAVE
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            TimeScaledLife(UniformRisk(10.0), 0.0)
+
+
+class TestDetectShape:
+    def test_linear(self):
+        assert detect_shape(UniformRisk(10.0)) is Shape.LINEAR
+
+    def test_concave(self):
+        assert detect_shape(PolynomialRisk(3, 10.0)) is Shape.CONCAVE
+        assert detect_shape(GeometricIncreasingRisk(15.0)) is Shape.CONCAVE
+
+    def test_convex(self):
+        assert detect_shape(GeometricDecreasingLifespan(1.4)) is Shape.CONVEX
+
+    def test_general(self):
+        assert detect_shape(WeibullLife(k=2.5, scale=10.0)) is Shape.GENERAL
+
+    def test_is_concave_consults_declaration(self):
+        assert is_concave(PolynomialRisk(2, 10.0))
+        assert not is_concave(GeometricDecreasingLifespan(1.4))
+
+    def test_is_convex_probes_general(self):
+        # Weibull k<1 declared CONVEX; k>1 GENERAL so probed numerically.
+        assert is_convex(WeibullLife(k=0.8, scale=5.0))
+        assert not is_convex(WeibullLife(k=2.5, scale=5.0))

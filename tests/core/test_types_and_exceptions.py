@@ -1,0 +1,83 @@
+"""The shared value types and the exception hierarchy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import exceptions as exc
+from repro.types import Bracket, positive_subtraction
+
+
+class TestBracket:
+    def test_basic_properties(self):
+        br = Bracket(2.0, 6.0)
+        assert br.width == 4.0
+        assert br.mid == 4.0
+        assert br.ratio == 3.0
+
+    def test_degenerate_point(self):
+        br = Bracket(5.0, 5.0)
+        assert br.width == 0.0
+        assert br.contains(5.0)
+
+    def test_contains_with_slack(self):
+        br = Bracket(1.0, 2.0)
+        assert br.contains(1.0)
+        assert br.contains(2.0 + 1e-12)
+        assert not br.contains(2.5)
+        assert not br.contains(0.5)
+
+    def test_clamp(self):
+        br = Bracket(1.0, 2.0)
+        assert br.clamp(0.0) == 1.0
+        assert br.clamp(1.5) == 1.5
+        assert br.clamp(9.0) == 2.0
+
+    def test_zero_lower_ratio_infinite(self):
+        assert math.isinf(Bracket(0.0, 1.0).ratio)
+
+    def test_invalid_brackets(self):
+        with pytest.raises(ValueError):
+            Bracket(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Bracket(float("nan"), 1.0)
+        with pytest.raises(ValueError):
+            Bracket(0.0, float("inf"))
+
+
+class TestPositiveSubtraction:
+    def test_scalars_stay_scalar(self):
+        out = positive_subtraction(5.0, 2.0)
+        assert isinstance(out, float) and out == 3.0
+        assert positive_subtraction(1.0, 5.0) == 0.0
+
+    def test_arrays(self):
+        out = positive_subtraction(np.array([1.0, 5.0]), np.array([2.0, 2.0]))
+        assert np.allclose(out, [0.0, 3.0])
+
+    def test_mixed(self):
+        out = positive_subtraction(np.array([1.0, 5.0]), 2.0)
+        assert np.allclose(out, [0.0, 3.0])
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_base(self):
+        for name in (
+            "InvalidScheduleError", "InvalidLifeFunctionError", "SupportError",
+            "RecurrenceTerminated", "NoOptimalScheduleError", "ConvergenceError",
+            "BracketError", "SimulationError", "WorkloadError", "TraceError",
+            "FittingError",
+        ):
+            cls = getattr(exc, name)
+            assert issubclass(cls, exc.CycleStealingError), name
+
+    def test_bracket_is_convergence_error(self):
+        # Callers catching ConvergenceError also see bracketing failures.
+        assert issubclass(exc.BracketError, exc.ConvergenceError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(exc.CycleStealingError):
+            raise exc.TraceError("boom")

@@ -1,0 +1,61 @@
+"""The uniqueness open question, explored numerically (Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    MixtureLife,
+    PolynomialRisk,
+    UniformRisk,
+)
+from repro.core.uniqueness import (
+    count_expected_work_peaks,
+    is_unique_optimum_numerically,
+    scan_t0_landscape,
+)
+
+
+class TestLandscape:
+    def test_scan_shapes(self):
+        landscape = scan_t0_landscape(UniformRisk(100.0), 2.0, n_points=129)
+        assert landscape.t0_values.size == 129
+        assert landscape.expected_work.size == 129
+        assert landscape.max > 0
+        assert landscape.t0_values[0] < landscape.argmax < landscape.t0_values[-1]
+
+    def test_argmax_matches_exact_uniform(self):
+        from repro.core.exact import uniform_optimal_schedule
+
+        landscape = scan_t0_landscape(UniformRisk(200.0), 2.0, n_points=1025)
+        exact = uniform_optimal_schedule(200.0, 2.0)
+        assert landscape.argmax == pytest.approx(exact.t0, rel=0.02)
+
+
+class TestUniqueness:
+    @pytest.mark.parametrize("factory,c", [
+        (lambda: UniformRisk(100.0), 2.0),
+        (lambda: PolynomialRisk(3, 100.0), 1.0),
+        (lambda: GeometricDecreasingLifespan(1.3), 0.5),
+        (lambda: GeometricIncreasingRisk(25.0), 1.0),
+    ])
+    def test_section4_families_unique(self, factory, c):
+        """Paper: 'each of the life functions studied in [3] admits a unique
+        optimal schedule' — the numeric landscape agrees."""
+        assert is_unique_optimum_numerically(factory(), c, n_points=513)
+
+    def test_single_peak_for_uniform(self):
+        assert count_expected_work_peaks(UniformRisk(100.0), 2.0, n_points=257) == 1
+
+    def test_mixture_is_multimodal(self):
+        """A coffee-break/meeting mixture produces several local maxima —
+        the structure that makes the uniqueness question nontrivial."""
+        mix = MixtureLife(
+            [GeometricIncreasingRisk(12.0), UniformRisk(120.0)], [0.7, 0.3]
+        )
+        assert count_expected_work_peaks(mix, 0.5, n_points=257) >= 2
+        # Multimodal, but (numerically) still one *global* optimum here.
+        assert is_unique_optimum_numerically(mix, 0.5, n_points=513, rel_tol=1e-6)

@@ -1,0 +1,88 @@
+"""Worst-case (adversarial) measures — the sequel's territory (footnote 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.core.worstcase import (
+    competitive_ratio,
+    guaranteed_work,
+    optimize_competitive_schedule,
+)
+from repro.exceptions import InvalidScheduleError
+
+
+class TestGuaranteedWork:
+    def test_adversary_kills_first_eligible_boundary(self):
+        s = Schedule([4.0, 3.0, 2.0])  # boundaries 4, 7, 9
+        c = 1.0
+        # Adversary constrained to R >= 5: kills period 1 at 7 => banked 3.
+        assert guaranteed_work(s, c, 5.0) == pytest.approx(3.0)
+        # R >= 7.5: kills period 2 at 9 => banked 3 + 2.
+        assert guaranteed_work(s, c, 7.5) == pytest.approx(5.0)
+        # R >= 10: beyond the schedule => everything banked.
+        assert guaranteed_work(s, c, 10.0) == pytest.approx(6.0)
+
+    def test_unconstrained_adversary_gets_zero(self):
+        s = Schedule([4.0, 3.0])
+        assert guaranteed_work(s, 1.0, 0.0) == 0.0
+
+    def test_negative_min_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            guaranteed_work(Schedule([4.0]), 1.0, -1.0)
+
+
+class TestCompetitiveRatio:
+    def test_manual_small_case(self):
+        s = Schedule([4.0, 4.0])  # boundaries 4, 8
+        c = 1.0
+        # Worst candidates: just before T1 = 8 -> 3/(8-1); at horizon 8 -> 6/7.
+        ratio = competitive_ratio(s, c, min_episode=4.5, horizon=8.0)
+        assert ratio == pytest.approx(3.0 / 7.0)
+
+    def test_equal_chunks_formula(self):
+        """Equal periods t: the worst ratio is (t-c)/(2t-c) (kill period 1)."""
+        t, c = 6.0, 1.0
+        s = Schedule([t] * 10)
+        ratio = competitive_ratio(s, c, min_episode=t * 1.001, horizon=10 * t)
+        assert ratio == pytest.approx((t - c) / (2 * t - c), rel=1e-6)
+
+    def test_doubling_worse_than_tuned_equal(self):
+        c = 1.0
+        doubling = Schedule([4.0 * 2**k for k in range(6)])
+        equal = Schedule([4.0] * 63)
+        kwargs = dict(min_episode=4.2, horizon=250.0)
+        assert competitive_ratio(equal, c, **kwargs) > competitive_ratio(
+            doubling, c, **kwargs
+        )
+
+    def test_invalid_window(self):
+        with pytest.raises(InvalidScheduleError):
+            competitive_ratio(Schedule([4.0]), 1.0, min_episode=5.0, horizon=4.0)
+
+
+class TestOptimizer:
+    def test_finds_positive_ratio(self):
+        res = optimize_competitive_schedule(1.0, horizon=200.0, min_episode=4.0)
+        assert res.ratio > 0.3
+        assert res.growth >= 1.0
+        assert res.schedule.total_length >= 200.0 * 0.5
+
+    def test_pins_first_period_at_min_episode(self):
+        """With additive overhead, the optimum commits the whole guaranteed
+        window to the first period (t0 = min_episode, q -> 1 region)."""
+        res = optimize_competitive_schedule(1.0, horizon=200.0, min_episode=4.0)
+        assert res.first_period == pytest.approx(4.0, rel=0.05)
+
+    def test_ratio_improves_with_min_episode(self):
+        r_small = optimize_competitive_schedule(1.0, 200.0, min_episode=3.0).ratio
+        r_large = optimize_competitive_schedule(1.0, 200.0, min_episode=20.0).ratio
+        assert r_large > r_small
+
+    def test_invalid_min_episode(self):
+        with pytest.raises(InvalidScheduleError):
+            optimize_competitive_schedule(2.0, 100.0, min_episode=1.0)

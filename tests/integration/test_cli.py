@@ -1,0 +1,81 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import build_parser, main, make_life_function
+
+
+class TestParsing:
+    def test_schedule_uniform(self, capsys):
+        status = main(["schedule", "--family", "uniform", "--lifespan", "480",
+                       "--c", "3"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "t0 bracket" in out
+        assert "expected work" in out
+
+    def test_schedule_geomdec_with_strategy(self, capsys):
+        status = main(["schedule", "--family", "geomdec", "--a", "1.2",
+                       "--c", "0.5", "--t0-strategy", "mid"])
+        assert status == 0
+        assert "strategy: mid" in capsys.readouterr().out
+
+    def test_schedule_explicit_t0(self, capsys):
+        main(["schedule", "--family", "uniform", "--lifespan", "100",
+              "--c", "2", "--t0", "20"])
+        out = capsys.readouterr().out
+        assert "20" in out
+        assert "explicit" in out
+
+    def test_compare(self, capsys):
+        status = main(["compare", "--family", "geominc", "--lifespan", "20",
+                       "--c", "1"])
+        assert status == 0
+        out = capsys.readouterr().out
+        for label in ("guideline", "greedy", "progressive", "optimal"):
+            assert label in out
+
+    def test_missing_family_param_errors(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", "--family", "uniform", "--c", "3"])  # no lifespan
+
+    def test_fit_from_file(self, tmp_path, capsys, rng):
+        p = repro.GeometricDecreasingLifespan(1.3)
+        data = p.sample_reclaim_times(rng, 500)
+        path = tmp_path / "durations.txt"
+        path.write_text("\n".join(f"{d:.6f}" for d in data))
+        status = main(["fit", str(path), "--c", "0.5"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "fitted:" in out
+        assert "expected work" in out
+
+    def test_fit_too_few(self, tmp_path):
+        path = tmp_path / "one.txt"
+        path.write_text("1.0\n")
+        with pytest.raises(SystemExit):
+            main(["fit", str(path), "--c", "0.5"])
+
+
+class TestLifeFunctionFactory:
+    def test_all_families(self):
+        parser = build_parser()
+        cases = [
+            (["schedule", "--family", "uniform", "--lifespan", "10", "--c", "1"],
+             repro.UniformRisk),
+            (["schedule", "--family", "poly", "--d", "3", "--lifespan", "10",
+              "--c", "1"], repro.PolynomialRisk),
+            (["schedule", "--family", "geomdec", "--a", "1.5", "--c", "1"],
+             repro.GeometricDecreasingLifespan),
+            (["schedule", "--family", "geominc", "--lifespan", "10", "--c", "1"],
+             repro.GeometricIncreasingRisk),
+            (["schedule", "--family", "weibull", "--k", "0.8", "--scale", "5",
+              "--c", "1"], repro.WeibullLife),
+        ]
+        for argv, cls in cases:
+            args = parser.parse_args(argv)
+            assert isinstance(make_life_function(args), cls)

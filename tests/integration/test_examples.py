@@ -1,0 +1,59 @@
+"""The shipped examples must run clean (the fast ones, end to end)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "t0 bracket" in out
+    assert "E(guideline)/E(optimal) = 1.000000" in out
+    assert "Monte-Carlo check" in out
+
+
+def test_coffee_break_runs():
+    out = _run("coffee_break.py")
+    assert "Coffee break" in out
+    assert "guideline recurrence" in out
+
+
+def test_adaptive_rescheduling_runs():
+    out = _run("adaptive_rescheduling.py")
+    assert "progressive schedule" in out
+    assert "MC check" in out
+
+
+def test_risk_profiles_runs():
+    out = _run("risk_profiles.py")
+    assert "Risk aversion" in out
+    assert "adversarial reclaim" in out
+
+
+@pytest.mark.slow
+def test_checkpointing_runs():
+    out = _run("checkpointing.py", timeout=600.0)
+    assert "guideline interval finishes first" in out
+
+
+@pytest.mark.slow
+def test_overnight_farm_runs():
+    out = _run("overnight_farm.py", timeout=900.0)
+    assert "clairvoyant bound" in out

@@ -1,0 +1,72 @@
+"""JSON round-trips for schedules and guideline results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.exceptions import CycleStealingError
+from repro.io import (
+    dumps,
+    guideline_result_from_dict,
+    guideline_result_to_dict,
+    loads,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+class TestScheduleRoundTrip:
+    def test_exact_floats(self):
+        s = repro.Schedule([13.642857142857144, 11.642857142857142, 0.1])
+        restored = loads(dumps(s))
+        assert isinstance(restored, repro.Schedule)
+        assert restored == s  # bitwise float equality
+
+    def test_dict_shape(self):
+        d = schedule_to_dict(repro.Schedule([1.0, 2.0]))
+        assert d["kind"] == "schedule"
+        assert d["periods"] == [1.0, 2.0]
+        assert schedule_from_dict(d) == repro.Schedule([1.0, 2.0])
+
+
+class TestGuidelineResultRoundTrip:
+    def test_full_provenance(self, paper_life):
+        result = repro.guideline_schedule(paper_life, 0.5, grid=17)
+        restored = loads(dumps(result, indent=2))
+        assert isinstance(restored, repro.GuidelineResult)
+        assert restored.schedule == result.schedule
+        assert restored.expected_work == result.expected_work
+        assert restored.t0 == result.t0
+        assert restored.bracket.lo == result.bracket.lo
+        assert restored.termination is result.termination
+        assert restored.t0_strategy == result.t0_strategy
+
+    def test_json_is_plain(self):
+        result = repro.guideline_schedule(repro.UniformRisk(100.0), 2.0)
+        payload = json.loads(dumps(result))
+        assert payload["kind"] == "guideline_result"
+        assert isinstance(payload["periods"], list)
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(CycleStealingError):
+            loads(json.dumps({"kind": "mystery", "format": 1}))
+
+    def test_wrong_kind_for_loader(self):
+        d = schedule_to_dict(repro.Schedule([1.0]))
+        with pytest.raises(CycleStealingError):
+            guideline_result_from_dict(d)
+
+    def test_future_format_rejected(self):
+        d = schedule_to_dict(repro.Schedule([1.0]))
+        d["format"] = 99
+        with pytest.raises(CycleStealingError):
+            schedule_from_dict(d)
+
+    def test_unserializable_type(self):
+        with pytest.raises(TypeError):
+            dumps(42)  # type: ignore[arg-type]

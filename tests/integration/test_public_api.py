@@ -1,0 +1,60 @@
+"""Public API surface: everything advertised is importable and documented."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
+
+
+def test_public_callables_documented():
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) and not inspect.isclass(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+        elif inspect.isclass(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+def test_subpackages_importable():
+    import repro.analysis
+    import repro.baselines
+    import repro.now
+    import repro.simulation
+    import repro.traces
+    import repro.workloads
+
+    for module in (
+        repro.analysis,
+        repro.baselines,
+        repro.now,
+        repro.simulation,
+        repro.traces,
+        repro.workloads,
+    ):
+        assert module.__doc__
+        for name in module.__all__:
+            assert hasattr(module, name)
+
+
+def test_quickstart_snippet_runs():
+    """The README/module-docstring quickstart must keep working."""
+    p = repro.UniformRisk(lifespan=1000.0)
+    result = repro.guideline_schedule(p, c=4.0)
+    assert result.schedule.num_periods > 1
+    assert result.expected_work > 0

@@ -1,0 +1,78 @@
+"""The fault-tolerant checkpointing analogue of [7]."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import GeometricDecreasingLifespan, UniformRisk
+from repro.core.schedule import Schedule
+from repro.exceptions import SimulationError
+from repro.now.checkpointing import (
+    save_schedule,
+    simulate_fault_prone_job,
+)
+
+
+class TestSaveSchedule:
+    def test_is_guideline_schedule(self):
+        p = GeometricDecreasingLifespan(1.1)
+        s = save_schedule(p, c_save=0.5)
+        assert s.num_periods >= 1
+        assert np.all(s.periods > 0.5)
+
+
+class TestSimulation:
+    def test_job_completes(self, rng):
+        p = GeometricDecreasingLifespan(1.05)
+        run = simulate_fault_prone_job(p, 0.5, total_work=200.0, rng=rng)
+        assert run.completion_time > 200.0  # overhead + losses cost something
+        assert run.saves_committed > 0
+
+    def test_no_failures_means_no_loss(self, rng):
+        # A failure distribution with an enormous half-life: effectively no
+        # failures within the job.
+        p = GeometricDecreasingLifespan(1.0 + 1e-7)
+        schedule = Schedule([1000.0] * 5)
+        run = simulate_fault_prone_job(
+            p, 1.0, total_work=2000.0, schedule=schedule, rng=rng
+        )
+        assert run.failures == 0
+        assert run.work_lost == 0.0
+        # Completion = work + overhead of the saves used.
+        expected_saves = int(np.ceil(2000.0 / 999.0))
+        assert run.saves_committed == expected_saves
+
+    def test_guideline_beats_bad_intervals(self):
+        """Guideline save intervals finish sooner than extreme alternatives."""
+        p = GeometricDecreasingLifespan(1.15)
+        c, W = 0.5, 120.0
+
+        def mean_time(schedule, seed=0, n=60):
+            rng = np.random.default_rng(seed)
+            return float(
+                np.mean(
+                    [
+                        simulate_fault_prone_job(
+                            p, c, W, schedule=schedule, rng=rng
+                        ).completion_time
+                        for _ in range(n)
+                    ]
+                )
+            )
+
+        guided = mean_time(save_schedule(p, c))
+        tiny = mean_time(Schedule([0.6] * 4000))
+        huge = mean_time(Schedule([80.0] * 200))
+        assert guided < tiny
+        assert guided < huge
+
+    def test_invalid_total_work(self, rng):
+        with pytest.raises(SimulationError):
+            simulate_fault_prone_job(UniformRisk(10.0), 1.0, 0.0, rng=rng)
+
+    def test_unfinishable_schedule_rejected(self, rng):
+        p = UniformRisk(10.0)
+        schedule = Schedule([0.5, 0.5])  # both periods below the save cost
+        with pytest.raises(SimulationError):
+            simulate_fault_prone_job(p, 1.0, 10.0, schedule=schedule, rng=rng)

@@ -1,0 +1,97 @@
+"""OwnerProcess units plus randomized conservation properties of the farm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.policies import DoublingPolicy, FixedChunkPolicy, GuidelinePolicy
+from repro.core.life_functions import GeometricDecreasingLifespan, UniformRisk
+from repro.now.farm import run_farm
+from repro.now.network import Network, Workstation
+from repro.now.owner import OwnerProcess
+from repro.workloads.generators import uniform_tasks
+from repro.workloads.tasks import TaskPool
+
+
+class TestOwnerProcess:
+    def test_from_life_function_samples_match(self, rng):
+        p = UniformRisk(10.0)
+        owner = OwnerProcess.from_life_function(p, present_mean=5.0)
+        absences = np.array([owner.next_absent(rng) for _ in range(2000)])
+        assert absences.max() <= 10.0 + 1e-9
+        assert absences.mean() == pytest.approx(5.0, abs=0.4)
+
+    def test_present_durations_positive(self, rng):
+        owner = OwnerProcess.from_life_function(UniformRisk(10.0), present_mean=2.0)
+        presents = [owner.next_present(rng) for _ in range(500)]
+        assert all(x > 0 for x in presents)
+
+    def test_invalid_present_mean(self):
+        with pytest.raises(ValueError):
+            OwnerProcess.from_life_function(UniformRisk(10.0), present_mean=0.0)
+
+    def test_true_life_recorded(self):
+        p = GeometricDecreasingLifespan(1.5)
+        owner = OwnerProcess.from_life_function(p, present_mean=1.0)
+        assert owner.true_life is p
+
+
+@st.composite
+def farm_configs(draw):
+    n_ws = draw(st.integers(min_value=1, max_value=4))
+    c = draw(st.floats(min_value=0.1, max_value=2.0))
+    n_tasks = draw(st.integers(min_value=10, max_value=300))
+    task_len = draw(st.floats(min_value=0.1, max_value=2.0))
+    horizon = draw(st.floats(min_value=10.0, max_value=300.0))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    policy_kind = draw(st.sampled_from(["fixed", "doubling", "guideline"]))
+    return n_ws, c, n_tasks, task_len, horizon, seed, policy_kind
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(config=farm_configs())
+def test_farm_conservation_properties(config):
+    """Whatever the configuration: tasks are conserved, work totals are
+    consistent, and no statistic goes negative."""
+    n_ws, c, n_tasks, task_len, horizon, seed, policy_kind = config
+    p = GeometricDecreasingLifespan(1.2)
+    stations = [
+        Workstation(i, OwnerProcess.from_life_function(p, present_mean=5.0))
+        for i in range(n_ws)
+    ]
+    net = Network(stations, c=c)
+    pool = TaskPool.from_durations(uniform_tasks(n_tasks, task_len))
+
+    def factory(ws):
+        if policy_kind == "fixed":
+            return FixedChunkPolicy(max(3.0 * c, task_len + c + 0.1))
+        if policy_kind == "doubling":
+            return DoublingPolicy(max(2.0 * c, task_len + c + 0.1))
+        return GuidelinePolicy()
+
+    result = run_farm(net, pool, factory, horizon, np.random.default_rng(seed))
+
+    # Task conservation: completed + pending == total, with no duplicates.
+    assert result.tasks_completed + pool.pending_count == n_tasks
+    completed_ids = [t.task_id for t in pool.completed]
+    pending_ids = [t.task_id for t in pool]
+    assert len(set(completed_ids) | set(pending_ids)) == n_tasks
+    assert len(completed_ids) + len(pending_ids) == n_tasks
+
+    # Work accounting.
+    assert result.total_work_done == pytest.approx(pool.completed_work)
+    assert result.total_work_done == pytest.approx(task_len * result.tasks_completed)
+    assert pool.pending_work == pytest.approx(task_len * pool.pending_count)
+
+    for stats in result.stats.values():
+        assert stats.work_done >= 0 and stats.work_lost >= 0
+        assert stats.overhead_paid >= 0
+        assert stats.periods_committed >= 0 and stats.periods_killed >= 0
+        # Each committed or killed period paid exactly one overhead.
+        assert stats.overhead_paid == pytest.approx(
+            c * (stats.periods_committed + stats.periods_killed)
+        )

@@ -1,0 +1,78 @@
+"""Task-grid quantization of continuous schedules (experiment EV-DISC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.guidelines import guideline_schedule
+from repro.core.life_functions import UniformRisk
+from repro.core.schedule import Schedule
+from repro.exceptions import InvalidScheduleError
+from repro.simulation.discrete import (
+    discretization_report,
+    discretize_schedule,
+)
+
+
+class TestDiscretize:
+    def test_floor_mode(self):
+        s = Schedule([10.0, 7.5])
+        out = discretize_schedule(s, c=1.0, task_duration=2.0, mode="floor")
+        # 10 -> c + 4*2 = 9; 7.5 -> c + 3*2 = 7.
+        assert list(out) == [9.0, 7.0]
+
+    def test_round_and_ceil_modes(self):
+        s = Schedule([10.0])
+        assert list(discretize_schedule(s, 1.0, 2.0, mode="round"))[0] == pytest.approx(
+            1.0 + 2.0 * round(9.0 / 2.0)
+        )
+        assert list(discretize_schedule(s, 1.0, 2.0, mode="ceil"))[0] == pytest.approx(
+            1.0 + 2.0 * np.ceil(9.0 / 2.0 - 1e-12)
+        )
+
+    def test_exact_grid_is_identity(self):
+        s = Schedule([1.0 + 6.0, 1.0 + 4.0])
+        out = discretize_schedule(s, 1.0, 2.0, mode="floor")
+        assert out.approx_equals(s)
+
+    def test_small_periods_dropped(self):
+        s = Schedule([10.0, 1.5])  # 1.5 - c = 0.5 < one task
+        out = discretize_schedule(s, 1.0, 2.0)
+        assert out.num_periods == 1
+
+    def test_all_dropped_raises(self):
+        with pytest.raises(InvalidScheduleError):
+            discretize_schedule(Schedule([1.5]), 1.0, 2.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(InvalidScheduleError):
+            discretize_schedule(Schedule([5.0]), 1.0, 0.0)
+        with pytest.raises(ValueError):
+            discretize_schedule(Schedule([5.0]), 1.0, 1.0, mode="nearest")
+
+
+class TestReport:
+    def test_loss_shrinks_with_granularity(self):
+        p = UniformRisk(300.0)
+        c = 2.0
+        res = guideline_schedule(p, c)
+        losses = []
+        for tau in (8.0, 2.0, 0.5, 0.125):
+            rep = discretization_report(res.schedule, p, c, tau)
+            losses.append(rep.relative_loss)
+        assert all(x >= -1e-12 for x in losses)
+        # Finer tasks => smaller loss, down to (near) zero.
+        assert losses[-1] < 0.01
+        assert losses[0] >= losses[-1]
+
+    def test_floor_never_gains(self):
+        p = UniformRisk(100.0)
+        res = guideline_schedule(p, 1.0)
+        rep = discretization_report(res.schedule, p, 1.0, 3.0, mode="floor")
+        assert rep.discrete_work <= rep.continuous_work + 1e-12
+
+    def test_zero_continuous_work_safe(self):
+        p = UniformRisk(100.0)
+        rep = discretization_report(Schedule([100.0]), p, 1.0, 2.0)
+        assert rep.relative_loss == 0.0

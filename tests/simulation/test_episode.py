@@ -1,0 +1,79 @@
+"""Episode semantics and vectorized realized-work accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import UniformRisk
+from repro.core.schedule import Schedule
+from repro.simulation.episode import (
+    completed_periods,
+    realized_work,
+    simulate_episodes,
+)
+
+
+class TestCompletedPeriods:
+    def test_counts(self):
+        s = Schedule([4.0, 3.0, 2.0])  # boundaries 4, 7, 9
+        r = np.array([0.5, 4.0, 4.1, 7.0, 9.5, 100.0])
+        assert list(completed_periods(s, r)) == [0, 0, 1, 1, 3, 3]
+
+    def test_reclaim_exactly_at_boundary_kills(self):
+        """'Reclaimed by time T_k' — equality kills period k."""
+        s = Schedule([4.0])
+        assert completed_periods(s, 4.0)[0] == 0
+        assert completed_periods(s, 4.0 + 1e-12)[0] == 1
+
+
+class TestRealizedWork:
+    def test_matches_schedule_method(self):
+        s = Schedule([5.0, 4.0, 3.0, 2.0])
+        c = 1.0
+        rs = np.linspace(0.0, 20.0, 101)
+        batch = realized_work(s, rs, c)
+        for r, w in zip(rs, batch):
+            assert w == pytest.approx(s.realized_work(float(r), c))
+
+    def test_scalar_input(self):
+        s = Schedule([5.0, 4.0])
+        assert realized_work(s, 100.0, 1.0) == pytest.approx(7.0)
+
+    def test_unproductive_period_banks_zero(self):
+        s = Schedule([5.0, 0.5])
+        assert realized_work(s, 100.0, 1.0) == pytest.approx(4.0)
+
+
+class TestSimulateEpisodes:
+    def test_batch_fields(self, rng):
+        p = UniformRisk(50.0)
+        s = Schedule([10.0, 8.0, 6.0])
+        batch = simulate_episodes(s, p, 1.0, 500, rng)
+        assert batch.n == 500
+        assert batch.reclaim_times.shape == (500,)
+        assert np.all(batch.work >= 0)
+        assert np.all(batch.periods_completed <= 3)
+
+    def test_mean_approaches_expected_work(self, rng):
+        p = UniformRisk(50.0)
+        s = Schedule([10.0, 8.0, 6.0])
+        c = 1.0
+        batch = simulate_episodes(s, p, c, 400_000, rng)
+        analytic = s.expected_work(p, c)
+        stderr = batch.work.std() / np.sqrt(batch.n)
+        assert abs(batch.mean_work - analytic) < 4.5 * stderr
+
+    def test_invalid_n(self, rng):
+        with pytest.raises(ValueError):
+            simulate_episodes(Schedule([1.0]), UniformRisk(10.0), 0.5, 0, rng)
+
+    def test_work_values_consistent_with_reclaims(self, rng):
+        p = UniformRisk(30.0)
+        s = Schedule([10.0, 5.0])
+        c = 2.0
+        batch = simulate_episodes(s, p, c, 200, rng)
+        for i in range(batch.n):
+            assert batch.work[i] == pytest.approx(
+                s.realized_work(float(batch.reclaim_times[i]), c)
+            )

@@ -1,0 +1,108 @@
+"""Parametric life-function fitting and model selection."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    PolynomialRisk,
+    UniformRisk,
+)
+from repro.exceptions import FittingError
+from repro.traces.fitting import (
+    fit_best,
+    fit_geometric_decreasing,
+    fit_geometric_increasing,
+    fit_polynomial,
+    fit_uniform,
+    fit_weibull,
+    ks_distance,
+)
+
+
+def _samples(p, rng, n=3000):
+    return p.sample_reclaim_times(rng, n)
+
+
+class TestIndividualFits:
+    def test_uniform_recovers_lifespan(self, rng):
+        data = _samples(UniformRisk(42.0), rng)
+        fit = fit_uniform(data)
+        assert fit.life.lifespan == pytest.approx(42.0, rel=0.02)
+
+    def test_exponential_recovers_rate(self, rng):
+        a_true = 1.25
+        data = _samples(GeometricDecreasingLifespan(a_true), rng)
+        fit = fit_geometric_decreasing(data)
+        assert math.log(fit.life.a) == pytest.approx(math.log(a_true), rel=0.05)
+
+    def test_polynomial_recovers_degree(self, rng):
+        data = _samples(PolynomialRisk(3, 30.0), rng, n=6000)
+        fit = fit_polynomial(data)
+        assert fit.life.d == 3
+        assert fit.life.lifespan == pytest.approx(30.0, rel=0.02)
+
+    def test_geometric_increasing_recovers_lifespan(self, rng):
+        data = _samples(GeometricIncreasingRisk(20.0), rng)
+        fit = fit_geometric_increasing(data)
+        assert fit.life.lifespan == pytest.approx(20.0, rel=0.02)
+
+    def test_weibull_recovers_params(self, rng):
+        from repro.core.life_functions import WeibullLife
+
+        data = _samples(WeibullLife(k=1.6, scale=7.0), rng, n=6000)
+        fit = fit_weibull(data)
+        assert fit.life.k == pytest.approx(1.6, rel=0.08)
+        assert fit.life.scale == pytest.approx(7.0, rel=0.05)
+
+    def test_too_few_points(self):
+        with pytest.raises(FittingError):
+            fit_uniform(np.array([1.0]))
+
+    def test_negative_durations(self):
+        with pytest.raises(FittingError):
+            fit_geometric_decreasing(np.array([1.0, -2.0, 3.0]))
+
+
+class TestModelSelection:
+    @pytest.mark.parametrize("truth,expected_family", [
+        (lambda: GeometricDecreasingLifespan(1.3), "geometric_decreasing"),
+        (lambda: UniformRisk(25.0), "uniform"),
+        (lambda: GeometricIncreasingRisk(15.0), "geometric_increasing"),
+    ])
+    def test_selects_generating_family(self, rng, truth, expected_family):
+        p = truth()
+        data = _samples(p, rng, n=8000)
+        best = fit_best(data, criterion="ks")
+        # The generating family should fit at least as well as alternatives
+        # (Weibull can mimic the exponential exactly, so accept it there).
+        acceptable = {expected_family}
+        if expected_family == "geometric_decreasing":
+            acceptable.add("weibull")
+        if expected_family == "uniform":
+            acceptable.add("polynomial(d=1)")
+        assert best.family in acceptable, f"chose {best.family}"
+
+    def test_ks_distance_small_for_truth(self, rng):
+        p = UniformRisk(30.0)
+        data = _samples(p, rng, n=5000)
+        assert ks_distance(p, data) < 0.03
+
+    def test_ks_distance_large_for_wrong_model(self, rng):
+        data = _samples(GeometricDecreasingLifespan(1.5), rng, n=5000)
+        wrong = UniformRisk(100.0)
+        assert ks_distance(wrong, data) > 0.2
+
+    def test_loglik_criterion(self, rng):
+        data = _samples(GeometricDecreasingLifespan(1.4), rng, n=4000)
+        best = fit_best(data, criterion="loglik")
+        assert best.family in ("geometric_decreasing", "weibull")
+
+    def test_invalid_criterion(self, rng):
+        with pytest.raises(ValueError):
+            fit_best(np.array([1.0, 2.0, 3.0]), criterion="aic")

@@ -1,0 +1,105 @@
+"""Markov-modulated owner traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import TraceError
+from repro.traces.markov import MarkovOwnerModel, markov_trace
+from repro.traces.synthetic import exponential_sampler, life_function_sampler
+
+
+def _two_state_model(sticky: float = 0.9) -> MarkovOwnerModel:
+    """State 0: short absences (uniform <= 2); state 1: long (uniform <= 40)."""
+    return MarkovOwnerModel(
+        transition=np.array([[sticky, 1 - sticky], [1 - sticky, sticky]]),
+        present_samplers=[exponential_sampler(3.0), exponential_sampler(3.0)],
+        absent_samplers=[
+            life_function_sampler(repro.UniformRisk(2.0)),
+            life_function_sampler(repro.UniformRisk(40.0)),
+        ],
+    )
+
+
+class TestModel:
+    def test_stationary_symmetric(self):
+        model = _two_state_model()
+        pi = model.stationary()
+        assert np.allclose(pi, [0.5, 0.5])
+
+    def test_stationary_asymmetric(self):
+        model = MarkovOwnerModel(
+            transition=np.array([[0.9, 0.1], [0.3, 0.7]]),
+            present_samplers=[exponential_sampler(1.0)] * 2,
+            absent_samplers=[exponential_sampler(1.0)] * 2,
+        )
+        pi = model.stationary()
+        # Detailed balance: pi0 * 0.1 = pi1 * 0.3.
+        assert pi[0] * 0.1 == pytest.approx(pi[1] * 0.3, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            MarkovOwnerModel(
+                transition=np.array([[0.5, 0.6], [0.5, 0.5]]),  # rows sum > 1
+                present_samplers=[exponential_sampler(1.0)] * 2,
+                absent_samplers=[exponential_sampler(1.0)] * 2,
+            )
+        with pytest.raises(TraceError):
+            MarkovOwnerModel(
+                transition=np.eye(2),
+                present_samplers=[exponential_sampler(1.0)],  # wrong count
+                absent_samplers=[exponential_sampler(1.0)] * 2,
+            )
+
+
+class TestTrace:
+    def test_states_align_with_absences(self, rng):
+        model = _two_state_model()
+        trace, states = markov_trace(rng, 2000.0, model)
+        assert states.size == trace.n_opportunities
+        assert set(np.unique(states)) <= {0, 1}
+
+    def test_state_conditional_durations(self, rng):
+        model = _two_state_model()
+        trace, states = markov_trace(rng, 20_000.0, model)
+        short = trace.absences[states == 0]
+        long = trace.absences[states == 1]
+        assert short.max() <= 2.0 + 1e-9
+        assert long.mean() > 5 * short.mean()
+
+    def test_stickiness_correlates_consecutive_absences(self, rng):
+        model = _two_state_model(sticky=0.95)
+        trace, states = markov_trace(rng, 30_000.0, model)
+        same = np.mean(states[1:] == states[:-1])
+        assert same > 0.85  # sticky chain: consecutive absences share a state
+
+    def test_marginal_matches_stationary_mixture(self, rng):
+        """The long-run absence distribution is the stationary mixture — the
+        bridge to MixtureLife and the paper's machinery."""
+        model = _two_state_model()
+        trace, _ = markov_trace(rng, 50_000.0, model)
+        mix = repro.MixtureLife(
+            [repro.UniformRisk(2.0), repro.UniformRisk(40.0)], [0.5, 0.5]
+        )
+        for t in (1.0, 5.0, 20.0):
+            empirical = float(np.mean(trace.absences > t))
+            assert empirical == pytest.approx(float(mix(t)), abs=0.03)
+
+    def test_invalid_args(self, rng):
+        model = _two_state_model()
+        with pytest.raises(TraceError):
+            markov_trace(rng, 0.0, model)
+        with pytest.raises(TraceError):
+            markov_trace(rng, 10.0, model, start_state=5)
+
+    def test_schedulable_end_to_end(self, rng):
+        """Fit a smooth p to Markov-modulated absences and schedule."""
+        from repro.traces import kaplan_meier, smooth_survival
+
+        model = _two_state_model()
+        trace, _ = markov_trace(rng, 20_000.0, model)
+        smoothed = smooth_survival(kaplan_meier(trace.absences, trace.censored_absences))
+        res = repro.guideline_schedule(smoothed, c=0.3)
+        assert res.expected_work > 0

@@ -1,0 +1,89 @@
+"""Kaplan-Meier and ECDF survival estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.traces.survival import SurvivalCurve, ecdf_survival, kaplan_meier
+
+
+class TestECDF:
+    def test_simple(self):
+        curve = ecdf_survival(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.allclose(curve.times, [1, 2, 3, 4])
+        assert np.allclose(curve.survival, [0.75, 0.5, 0.25, 0.0])
+
+    def test_ties(self):
+        curve = ecdf_survival(np.array([2.0, 2.0, 4.0]))
+        assert np.allclose(curve.times, [2, 4])
+        assert np.allclose(curve.survival, [1 / 3, 0.0])
+
+    def test_evaluate_step_semantics(self):
+        curve = ecdf_survival(np.array([1.0, 2.0]))
+        assert curve.evaluate(0.5) == 1.0
+        assert curve.evaluate(1.0) == 0.5  # P(D > 1) with one of two at 1
+        assert curve.evaluate(1.5) == 0.5
+        assert curve.evaluate(2.5) == 0.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(TraceError):
+            ecdf_survival(np.array([]))
+        with pytest.raises(TraceError):
+            ecdf_survival(np.array([1.0, -1.0]))
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_ecdf(self, rng):
+        data = rng.exponential(5.0, size=200)
+        km = kaplan_meier(data)
+        ec = ecdf_survival(data)
+        assert np.allclose(km.times, ec.times)
+        assert np.allclose(km.survival, ec.survival)
+
+    def test_textbook_example(self):
+        # Events at 1, 3; censored at 2.
+        km = kaplan_meier(np.array([1.0, 3.0]), np.array([2.0]))
+        # S(1) = 1 - 1/3 = 2/3; at t=3, at-risk = 1: S(3) = 2/3 * 0 = 0.
+        assert np.allclose(km.times, [1.0, 3.0])
+        assert np.allclose(km.survival, [2 / 3, 0.0])
+        assert km.n_censored == 1
+
+    def test_censoring_lifts_survival(self, rng):
+        events = rng.exponential(5.0, size=300)
+        censored = rng.exponential(5.0, size=150)
+        km_cens = kaplan_meier(events, censored)
+        km_plain = kaplan_meier(events)
+        t = float(np.median(events))
+        assert km_cens.evaluate(t) >= km_plain.evaluate(t) - 1e-12
+
+    def test_consistency_against_truth(self, rng):
+        """KM with random censoring converges to the true survival."""
+        true_scale = 4.0
+        n = 4000
+        events = rng.exponential(true_scale, size=n)
+        cens_times = rng.exponential(8.0, size=n)
+        observed = np.minimum(events, cens_times)
+        is_event = events <= cens_times
+        km = kaplan_meier(observed[is_event], observed[~is_event])
+        for t in (1.0, 3.0, 6.0):
+            assert km.evaluate(t) == pytest.approx(np.exp(-t / true_scale), abs=0.05)
+
+    def test_needs_events(self):
+        with pytest.raises(TraceError):
+            kaplan_meier(np.array([]), np.array([1.0]))
+
+
+class TestSurvivalCurve:
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            SurvivalCurve(np.array([1.0, 2.0]), np.array([0.5]), 2, 0)
+        with pytest.raises(TraceError):
+            SurvivalCurve(np.array([2.0, 1.0]), np.array([0.5, 0.2]), 2, 0)
+        with pytest.raises(TraceError):
+            SurvivalCurve(np.array([1.0, 2.0]), np.array([0.2, 0.5]), 2, 0)
+
+    def test_support_end(self):
+        curve = ecdf_survival(np.array([1.0, 5.0]))
+        assert curve.support_end == 5.0

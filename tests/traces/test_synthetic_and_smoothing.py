@@ -1,0 +1,116 @@
+"""Synthetic owner traces and survival-curve smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import GeometricDecreasingLifespan, UniformRisk
+from repro.core.recurrence import generate_schedule
+from repro.exceptions import TraceError
+from repro.traces.smoothing import SmoothedLifeFunction, smooth_survival
+from repro.traces.survival import kaplan_meier
+from repro.traces.synthetic import (
+    diurnal_trace,
+    exponential_sampler,
+    generate_trace,
+    life_function_sampler,
+    lognormal_sampler,
+)
+
+
+class TestGenerateTrace:
+    def test_basic_structure(self, rng):
+        trace = generate_trace(
+            rng, 5000.0, exponential_sampler(10.0), exponential_sampler(20.0)
+        )
+        assert trace.n_opportunities > 50
+        assert trace.horizon == 5000.0
+        assert 0.0 < trace.utilization < 1.0
+
+    def test_life_function_sampler_distribution(self, rng):
+        p = UniformRisk(8.0)
+        trace = generate_trace(
+            rng, 20_000.0, life_function_sampler(p), exponential_sampler(5.0)
+        )
+        # Absences should look uniform on [0, 8].
+        assert trace.absences.max() <= 8.0 + 1e-9
+        assert np.mean(trace.absences) == pytest.approx(4.0, abs=0.3)
+
+    def test_censoring_recorded(self, rng):
+        trace = generate_trace(
+            rng, 50.0, exponential_sampler(200.0), exponential_sampler(1.0),
+            start_present=False,
+        )
+        assert trace.censored_absences.size >= 1
+
+    def test_invalid_horizon(self, rng):
+        with pytest.raises(TraceError):
+            generate_trace(rng, 0.0, exponential_sampler(1.0), exponential_sampler(1.0))
+
+    def test_lognormal_sampler_validation(self):
+        with pytest.raises(TraceError):
+            lognormal_sampler(0.0, 1.0)
+        with pytest.raises(TraceError):
+            exponential_sampler(-1.0)
+
+
+class TestDiurnalTrace:
+    def test_nightly_absences_present(self, rng):
+        trace = diurnal_trace(rng, 10, exponential_sampler(0.5))
+        # At least some absences span (or include) the 14-hour night.
+        assert np.sum(trace.absences >= 14.0) >= 5
+        assert trace.n_opportunities >= 10
+
+    def test_invalid_days(self, rng):
+        with pytest.raises(TraceError):
+            diurnal_trace(rng, 0, exponential_sampler(0.5))
+
+
+class TestSmoothing:
+    def _smoothed_from(self, p, rng, n=4000):
+        data = p.sample_reclaim_times(rng, n)
+        return smooth_survival(kaplan_meier(data))
+
+    def test_is_valid_life_function(self, rng):
+        sm = self._smoothed_from(UniformRisk(30.0), rng)
+        sm.validate(tol=1e-6)
+
+    def test_tracks_truth(self, rng):
+        p = UniformRisk(30.0)
+        sm = self._smoothed_from(p, rng)
+        ts = np.linspace(0.5, 28.0, 25)
+        assert np.max(np.abs(np.asarray(sm(ts)) - np.asarray(p(ts)))) < 0.06
+
+    def test_derivative_negative_inside(self, rng):
+        sm = self._smoothed_from(GeometricDecreasingLifespan(1.3), rng)
+        ts = np.linspace(0.1, sm.lifespan * 0.9, 50)
+        assert np.all(np.asarray(sm.derivative(ts)) < 0)
+
+    def test_usable_by_recurrence(self, rng):
+        sm = self._smoothed_from(UniformRisk(50.0), rng)
+        out = generate_schedule(sm, 1.0, sm.lifespan * 0.25)
+        assert out.schedule.num_periods >= 2
+
+    def test_shape_detected_linearish(self, rng):
+        sm = self._smoothed_from(UniformRisk(30.0), rng, n=20_000)
+        # A uniform sample's smoothed survival should probe concave-or-convex
+        # (near-linear); GENERAL is acceptable for noisy fits, but the shape
+        # property must at least be computed without error.
+        assert sm.shape is not None
+
+    def test_knot_validation(self):
+        with pytest.raises(TraceError):
+            SmoothedLifeFunction(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        with pytest.raises(TraceError):
+            SmoothedLifeFunction(
+                np.array([0.0, 1.0, 2.0]), np.array([0.9, 0.5, 0.0])
+            )
+        with pytest.raises(TraceError):
+            SmoothedLifeFunction(
+                np.array([0.0, 1.0, 2.0]), np.array([1.0, 0.5, 0.1])
+            )
+
+    def test_too_few_knots_raises(self, rng):
+        with pytest.raises(TraceError):
+            smooth_survival(kaplan_meier(np.array([5.0, 5.0, 5.0])), n_knots=4)

@@ -1,0 +1,123 @@
+"""Tasks, pools, generators, and period packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.generators import (
+    bimodal_tasks,
+    jittered_tasks,
+    lognormal_tasks,
+    uniform_tasks,
+)
+from repro.workloads.packing import pack_period
+from repro.workloads.tasks import Task, TaskPool
+
+
+class TestTask:
+    def test_positive_duration_required(self):
+        with pytest.raises(WorkloadError):
+            Task(0, 0.0)
+        with pytest.raises(WorkloadError):
+            Task(1, -1.0)
+
+
+class TestTaskPool:
+    def test_from_durations(self):
+        pool = TaskPool.from_durations([1.0, 2.0, 3.0])
+        assert pool.pending_count == 3
+        assert pool.pending_work == pytest.approx(6.0)
+        assert not pool.exhausted
+
+    def test_checkout_fifo_prefix(self):
+        pool = TaskPool.from_durations([1.0, 2.0, 3.0, 1.0])
+        taken = pool.checkout(3.5)
+        assert [t.task_id for t in taken] == [0, 1]
+        assert pool.pending_count == 2
+
+    def test_checkout_stops_at_first_misfit(self):
+        # FIFO: the 3.0 task blocks even though the 1.0 after it would fit.
+        pool = TaskPool.from_durations([1.0, 3.0, 1.0])
+        taken = pool.checkout(2.0)
+        assert [t.task_id for t in taken] == [0]
+
+    def test_checkout_empty_when_budget_too_small(self):
+        pool = TaskPool.from_durations([5.0])
+        assert pool.checkout(1.0) == []
+
+    def test_checkout_negative_budget(self):
+        pool = TaskPool.from_durations([1.0])
+        with pytest.raises(WorkloadError):
+            pool.checkout(-1.0)
+
+    def test_commit_and_restore(self):
+        pool = TaskPool.from_durations([1.0, 2.0, 3.0])
+        taken = pool.checkout(3.5)
+        pool.restore(taken)
+        assert [t.task_id for t in pool] == [0, 1, 2]  # back at the front
+        taken = pool.checkout(3.5)
+        pool.commit(taken)
+        assert pool.completed_work == pytest.approx(3.0)
+        assert pool.pending_count == 1
+
+    def test_exhausted(self):
+        pool = TaskPool.from_durations([1.0])
+        pool.commit(pool.checkout(2.0))
+        assert pool.exhausted
+
+
+class TestGenerators:
+    def test_uniform(self):
+        assert np.allclose(uniform_tasks(5, 2.0), 2.0)
+        with pytest.raises(WorkloadError):
+            uniform_tasks(0)
+        with pytest.raises(WorkloadError):
+            uniform_tasks(3, -1.0)
+
+    def test_jittered_within_bounds(self, rng):
+        d = jittered_tasks(1000, 2.0, 0.25, rng)
+        assert np.all(d >= 1.5 - 1e-12)
+        assert np.all(d <= 2.5 + 1e-12)
+        with pytest.raises(WorkloadError):
+            jittered_tasks(10, 1.0, 1.0, rng)
+
+    def test_lognormal_positive_and_skewed(self, rng):
+        d = lognormal_tasks(20_000, 1.0, 1.0, rng)
+        assert np.all(d > 0)
+        assert np.mean(d) > np.median(d)  # right skew
+        with pytest.raises(WorkloadError):
+            lognormal_tasks(10, 0.0, 1.0, rng)
+
+    def test_bimodal_fractions(self, rng):
+        d = bimodal_tasks(20_000, 1.0, 10.0, 0.3, rng)
+        frac_long = np.mean(d == 10.0)
+        assert frac_long == pytest.approx(0.3, abs=0.02)
+        with pytest.raises(WorkloadError):
+            bimodal_tasks(10, 1.0, 2.0, 1.5, rng)
+
+
+class TestPacking:
+    def test_pack_fills_budget(self):
+        pool = TaskPool.from_durations([2.0] * 10)
+        bundle = pack_period(pool, planned_length=7.0, c=1.0)
+        assert len(bundle.tasks) == 3  # 3 * 2.0 = 6.0 <= 6.0
+        assert bundle.work == pytest.approx(6.0)
+        assert bundle.realized_length == pytest.approx(7.0)
+
+    def test_pack_partial_budget(self):
+        pool = TaskPool.from_durations([2.0] * 10)
+        bundle = pack_period(pool, planned_length=6.0, c=1.0)
+        assert len(bundle.tasks) == 2
+        assert bundle.realized_length == pytest.approx(5.0)  # undershoots plan
+
+    def test_unproductive_plan_rejected(self):
+        pool = TaskPool.from_durations([1.0])
+        with pytest.raises(WorkloadError):
+            pack_period(pool, planned_length=0.5, c=1.0)
+
+    def test_empty_pool_gives_empty_bundle(self):
+        pool = TaskPool()
+        bundle = pack_period(pool, 5.0, 1.0)
+        assert bundle.empty
