@@ -11,6 +11,10 @@ Commands
 ``fit``
     Read absence durations (one float per line, ``-`` for stdin), fit every
     family, and print the best schedule for a given overhead.
+``mc``
+    Monte-Carlo validation of eq. (2.1): simulate episodes of the guideline
+    schedule on a chosen engine (``--engine vectorized|scalar``) and compare
+    the sample mean against the analytic expected work.
 
 Examples
 --------
@@ -20,6 +24,7 @@ Examples
     python -m repro schedule --family geomdec --a 1.1 --c 0.5 --t0-strategy mid
     python -m repro compare --family geominc --lifespan 30 --c 1
     python -m repro fit durations.txt --c 2.0
+    python -m repro mc --family uniform --lifespan 480 --c 3 --n 200000
 """
 
 from __future__ import annotations
@@ -92,6 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit = sub.add_parser("fit", help="fit a life function to durations and schedule")
     p_fit.add_argument("path", help="file of absence durations, one per line ('-' = stdin)")
     p_fit.add_argument("--c", type=float, required=True)
+
+    p_mc = sub.add_parser("mc", help="Monte-Carlo validation of eq. (2.1)")
+    _add_family_args(p_mc)
+    p_mc.add_argument("--n", type=int, default=100_000,
+                      help="number of simulated episodes (default 100000)")
+    p_mc.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+    p_mc.add_argument("--engine", default="vectorized",
+                      choices=["vectorized", "scalar"],
+                      help="batch simulation engine (default vectorized)")
+    p_mc.add_argument("--confidence", type=float, default=0.95,
+                      help="CI coverage probability (default 0.95)")
     return parser
 
 
@@ -148,6 +164,29 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from .simulation import estimate_expected_work
+
+    if not 0.0 < args.confidence < 1.0:
+        raise SystemExit(f"--confidence must lie in (0, 1), got {args.confidence}")
+    p = make_life_function(args)
+    result = core.guideline_schedule(p, args.c)
+    rng = np.random.default_rng(args.seed)
+    est = estimate_expected_work(
+        result.schedule, p, args.c, n=args.n, rng=rng, engine=args.engine
+    )
+    z = abs(est.mean - result.expected_work) / max(est.stderr, 1e-15)
+    lo, hi = est.ci(args.confidence)
+    print(f"life function : {p!r}")
+    print(f"engine        : {args.engine}  (n = {args.n:,}, seed = {args.seed})")
+    print(f"analytic E    : {result.expected_work:.6g}")
+    print(f"MC mean       : {est.mean:.6g} ± {est.stderr:.3g}")
+    print(f"{100 * args.confidence:.0f}% CI        : [{lo:.6g}, {hi:.6g}]")
+    print(f"|z|           : {z:.3f}")
+    print(f"consistent    : {est.consistent_with(result.expected_work)}")
+    return 0 if est.consistent_with(result.expected_work, z=4.5) else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit status."""
     args = build_parser().parse_args(argv)
@@ -157,6 +196,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "fit":
         return _cmd_fit(args)
+    if args.command == "mc":
+        return _cmd_mc(args)
     raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
 
 

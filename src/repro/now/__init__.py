@@ -1,7 +1,14 @@
 """The network-of-workstations substrate: owners, workstations, the
 discrete-event task farm, and the checkpointing analogue of [7]."""
 
-from .allocation import StationProfile, episode_value, select_stations, steal_rate
+from .allocation import (
+    StationProfile,
+    episode_value,
+    estimate_episode_value,
+    estimate_steal_rate,
+    select_stations,
+    steal_rate,
+)
 from .checkpointing import CheckpointRun, save_schedule, simulate_fault_prone_job
 from .farm import FarmResult, WorkstationStats, run_farm
 from .network import Network, Workstation
@@ -19,6 +26,8 @@ __all__ = [
     "CheckpointRun",
     "StationProfile",
     "episode_value",
+    "estimate_episode_value",
+    "estimate_steal_rate",
     "steal_rate",
     "select_stations",
 ]

@@ -20,12 +20,23 @@ This module provides the analytic layer for that decision:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
 
 from ..core.guidelines import guideline_schedule
 from ..core.life_functions import LifeFunction
 from ..exceptions import CycleStealingError, SimulationError
+from ..simulation.monte_carlo import MCEstimate, estimate_expected_work
 
-__all__ = ["StationProfile", "episode_value", "steal_rate", "select_stations"]
+__all__ = [
+    "StationProfile",
+    "episode_value",
+    "estimate_episode_value",
+    "estimate_steal_rate",
+    "steal_rate",
+    "select_stations",
+]
 
 
 @dataclass(frozen=True)
@@ -61,6 +72,55 @@ def episode_value(profile: StationProfile, c: float) -> float:
     except CycleStealingError:
         return 0.0
     return result.expected_work * profile.speed
+
+
+def estimate_episode_value(
+    profile: StationProfile,
+    c: float,
+    n: int = 100_000,
+    rng: Optional[np.random.Generator] = None,
+    engine: str = "vectorized",
+) -> MCEstimate:
+    """Monte-Carlo counterpart of :func:`episode_value`.
+
+    Simulates ``n`` draconian episodes of the station's guideline schedule
+    against its life function on the selected engine (``"vectorized"`` or
+    ``"scalar"``; same seed contract and therefore identical results) and
+    scales by the station's speed.  Stations the guideline scheduler rejects
+    are worth exactly 0, with zero uncertainty.
+
+    RNG contract: delegates to
+    :func:`repro.simulation.estimate_expected_work` — one
+    ``sample_reclaim_times`` call per internal batch.
+    """
+    try:
+        result = guideline_schedule(profile.life, c, grid=65)
+    except CycleStealingError:
+        return MCEstimate(mean=0.0, stderr=0.0, n=n)
+    est = estimate_expected_work(
+        result.schedule, profile.life, c, n=n, rng=rng, engine=engine
+    )
+    return MCEstimate(
+        mean=est.mean * profile.speed, stderr=est.stderr * profile.speed, n=est.n
+    )
+
+
+def estimate_steal_rate(
+    profile: StationProfile,
+    c: float,
+    n: int = 100_000,
+    rng: Optional[np.random.Generator] = None,
+    engine: str = "vectorized",
+) -> MCEstimate:
+    """Monte-Carlo counterpart of :func:`steal_rate` (renewal-reward form).
+
+    The presence/absence cycle length is analytic, so only the episode value
+    carries sampling error; mean and stderr both divide by the cycle.
+    """
+    mean_absent = profile.life.expected_lifetime()
+    cycle = profile.mean_present + mean_absent
+    est = estimate_episode_value(profile, c, n=n, rng=rng, engine=engine)
+    return MCEstimate(mean=est.mean / cycle, stderr=est.stderr / cycle, n=est.n)
 
 
 def steal_rate(profile: StationProfile, c: float) -> float:

@@ -10,8 +10,14 @@ Running schedule ``S = t_0, t_1, ...`` against the episode banks
 ``T_i``; the interrupted period (and everything after) is lost, which is
 exactly the accounting behind eq. (2.1): ``E[work(S, R)] = E(S; p)``.
 
-Everything here is vectorized over batches of reclaim times: one
-``searchsorted`` against the period boundaries replaces a per-episode loop.
+Batch simulation is delegated to one of two interchangeable engines (see
+:func:`simulate_episodes`): the default ``"vectorized"`` engine
+(:mod:`repro.simulation.vectorized`) runs a batch in O(periods) NumPy steps,
+while the ``"scalar"`` engine (:mod:`repro.simulation.scalar`) is the
+loop-per-episode reference transcription of §2.1 used as the differential-
+testing oracle.  Both obey the same RNG-consumption contract — one
+``p.sample_reclaim_times(rng, n)`` call per batch — so identical generator
+state gives bit-identical episode outcomes from either engine.
 """
 
 from __future__ import annotations
@@ -24,7 +30,16 @@ from ..core.life_functions import LifeFunction
 from ..core.schedule import Schedule
 from ..types import ArrayLike, FloatArray
 
-__all__ = ["realized_work", "completed_periods", "simulate_episodes", "EpisodeBatch"]
+__all__ = [
+    "realized_work",
+    "completed_periods",
+    "simulate_episodes",
+    "EpisodeBatch",
+    "ENGINES",
+]
+
+#: The interchangeable batch-simulation engines, in preference order.
+ENGINES = ("vectorized", "scalar")
 
 
 def completed_periods(schedule: Schedule, reclaim_times: ArrayLike) -> np.ndarray:
@@ -75,16 +90,32 @@ def simulate_episodes(
     c: float,
     n: int,
     rng: np.random.Generator,
+    engine: str = "vectorized",
 ) -> EpisodeBatch:
     """Sample ``n`` episodes of the given life function and run the schedule.
 
     Reclaim times are drawn by inverse transform (``R = p^{-1}(U)``), so the
     sampled distribution matches ``p`` exactly wherever the family provides a
     closed-form inverse (all Section 4 families do).
+
+    RNG contract: exactly one ``p.sample_reclaim_times(rng, n)`` call per
+    invocation, regardless of ``engine`` — the per-episode outcomes are
+    bit-identical across engines for the same generator state.
+
+    Parameters
+    ----------
+    engine:
+        ``"vectorized"`` (default, O(periods) NumPy steps) or ``"scalar"``
+        (the per-episode reference loop; orders of magnitude slower).
     """
     if n < 1:
         raise ValueError(f"need at least one episode, got n={n}")
-    reclaim = p.sample_reclaim_times(rng, n)
-    k = completed_periods(schedule, reclaim)
-    cumulative = np.concatenate(([0.0], np.cumsum(schedule.work_per_period(c))))
-    return EpisodeBatch(reclaim_times=reclaim, work=cumulative[k], periods_completed=k)
+    if engine == "vectorized":
+        from .vectorized import simulate_episodes_vectorized
+
+        return simulate_episodes_vectorized(schedule, p, c, n, rng)
+    if engine == "scalar":
+        from .scalar import simulate_episodes_scalar
+
+        return simulate_episodes_scalar(schedule, p, c, n, rng)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")

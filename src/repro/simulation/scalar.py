@@ -1,0 +1,134 @@
+"""Scalar reference engine: a literal, per-episode transcription of §2.1.
+
+This module is the *oracle* side of the differential-testing harness.  Every
+episode is simulated with explicit Python loops that mirror the paper's prose
+one clause at a time — period ``i`` runs for ``t_i``, banks ``t_i ⊖ c`` iff
+the workstation survives strictly past its end (``T_i < R``; a reclaim *at*
+``T_i`` kills the period, the draconian tie-break), and the first killed
+period ends the episode.  It is deliberately slow and deliberately obvious:
+the vectorized engine (:mod:`repro.simulation.vectorized`) must reproduce its
+outcomes bit-for-bit under the shared seed contract.
+
+RNG-consumption contract (shared with the vectorized engine)
+------------------------------------------------------------
+A batch of ``n`` episodes consumes the generator via exactly one call
+``p.sample_reclaim_times(rng, n)`` (one uniform draw per episode, in episode
+order).  Passing ``reclaim_times`` explicitly consumes nothing.  Because both
+engines obey this contract, an identical ``numpy.random.Generator`` state
+yields identical per-episode reclaim times — and therefore identical works —
+from either engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.life_functions import LifeFunction
+from ..core.schedule import Schedule
+from ..types import FloatArray
+from .episode import EpisodeBatch
+
+__all__ = ["simulate_episodes_scalar", "simulate_policy_episodes_scalar"]
+
+
+def simulate_episodes_scalar(
+    schedule: Schedule,
+    p: LifeFunction,
+    c: float,
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    reclaim_times: Optional[FloatArray] = None,
+) -> EpisodeBatch:
+    """Simulate ``n`` episodes of ``schedule`` with explicit per-episode loops.
+
+    Semantically identical to
+    :func:`repro.simulation.vectorized.simulate_episodes_vectorized` (tested
+    exactly, episode by episode); use that engine for anything
+    performance-sensitive.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one episode, got n={n}")
+    if reclaim_times is None:
+        if rng is None:
+            raise ValueError("provide either rng or reclaim_times")
+        reclaim_times = p.sample_reclaim_times(rng, n)
+    reclaim = np.asarray(reclaim_times, dtype=float)
+    if reclaim.size != n:
+        raise ValueError(f"reclaim_times has {reclaim.size} entries, expected {n}")
+
+    period_list = [float(t) for t in schedule.periods]
+    work_each = [max(0.0, t - c) for t in period_list]
+
+    works = np.empty(n, dtype=float)
+    completed = np.empty(n, dtype=np.intp)
+    for j in range(n):
+        r = float(reclaim[j])
+        elapsed = 0.0
+        banked = 0.0
+        k = 0
+        for t, w in zip(period_list, work_each):
+            elapsed += t  # T_k = tau_k + t_k
+            if elapsed < r:  # survives only strictly before the reclaim
+                banked += w
+                k += 1
+            else:  # reclaimed by T_k: period k (and the episode) is lost
+                break
+        works[j] = banked
+        completed[j] = k
+    return EpisodeBatch(reclaim_times=reclaim, work=works, periods_completed=completed)
+
+
+def simulate_policy_episodes_scalar(
+    policy: Callable[[float], Optional[float]],
+    p: LifeFunction,
+    c: float,
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    max_periods: int = 100_000,
+    reclaim_times: Optional[FloatArray] = None,
+) -> EpisodeBatch:
+    """Simulate ``n`` episodes of an online policy, one episode at a time.
+
+    ``policy(elapsed)`` returns the next period length proposed after
+    surviving to ``elapsed``; ``None``, a non-positive value, or raising
+    ``StopIteration`` ends the episode's dispatching.  Each episode makes at
+    most ``max_periods`` policy calls.
+
+    RNG contract: one ``p.sample_reclaim_times(rng, n)`` call for the whole
+    batch, episodes in draw order (identical to the vectorized engine).
+    """
+    if n < 1:
+        raise ValueError(f"need at least one episode, got n={n}")
+    if reclaim_times is None:
+        if rng is None:
+            raise ValueError("provide either rng or reclaim_times")
+        reclaim_times = p.sample_reclaim_times(rng, n)
+    reclaim = np.asarray(reclaim_times, dtype=float)
+    if reclaim.size != n:
+        raise ValueError(f"reclaim_times has {reclaim.size} entries, expected {n}")
+
+    works = np.empty(n, dtype=float)
+    completed = np.empty(n, dtype=np.intp)
+    for j in range(n):
+        r = float(reclaim[j])
+        elapsed = 0.0
+        banked = 0.0
+        k = 0
+        for _ in range(max_periods):
+            try:
+                t = policy(elapsed)
+            except StopIteration:
+                break
+            if t is None or t <= 0:
+                break
+            elapsed += t
+            if elapsed < r:
+                banked += max(0.0, t - c)
+                k += 1
+            else:
+                break
+        works[j] = banked
+        completed[j] = k
+    return EpisodeBatch(reclaim_times=reclaim, work=works, periods_completed=completed)

@@ -1,0 +1,272 @@
+"""Differential-testing harness for the batch simulation engines.
+
+The vectorized engine earns its keep only if it is *provably* the same
+simulator as the scalar §2.1 reference.  This module packages the two checks
+the test-suite (and any future engine) runs against every life-function
+family:
+
+* **exact parity** — under the shared seed contract both engines consume the
+  generator identically, so per-episode reclaim times, banked works, and
+  completed-period counts must match bit-for-bit
+  (:func:`differential_schedule_check`, :func:`differential_policy_check`);
+* **statistical parity** — with *independent* seeds the engines are two
+  independent Monte-Carlo estimators of the same expectation, so their means
+  must agree within a few combined standard errors, and each must agree with
+  the analytic eq. (2.1) where it applies
+  (:func:`statistical_parity`).
+
+It also provides :func:`canonical_families` — one representative instance of
+every life-function family the library exports — plus
+:class:`DeterministicLife`, a degenerate step life function (reclaim at
+exactly ``L`` with probability 1) that makes eq. (2.1) an *exact* finite sum
+and therefore anchors property-based tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    GompertzLife,
+    LifeFunction,
+    LogLogisticLife,
+    MixtureLife,
+    ParetoLife,
+    PolynomialRisk,
+    Shape,
+    TimeScaledLife,
+    UniformRisk,
+    WeibullLife,
+)
+from ..core.schedule import Schedule
+from ..types import ArrayLike, FloatArray
+from .episode import EpisodeBatch
+from .scalar import simulate_episodes_scalar, simulate_policy_episodes_scalar
+from .vectorized import (
+    simulate_episodes_vectorized,
+    simulate_policy_episodes_vectorized,
+)
+
+__all__ = [
+    "DeterministicLife",
+    "DifferentialReport",
+    "canonical_families",
+    "reference_schedule",
+    "differential_schedule_check",
+    "differential_policy_check",
+    "statistical_parity",
+    "assert_exact_parity",
+]
+
+
+class DeterministicLife(LifeFunction):
+    """Degenerate life function: the owner reclaims at exactly ``L``.
+
+    ``p(t) = 1`` for ``t < L`` and ``0`` from ``L`` on — the step function
+    that makes eq. (2.1) the exact finite sum ``sum_{T_i < L} (t_i ⊖ c)``.
+    Not differentiable (shape GENERAL, derivative 0 off the step), so it is
+    a *testing* device, not a schedulable family: Monte-Carlo against it has
+    zero variance, which pins estimator plumbing without statistical slack.
+    """
+
+    def __init__(self, lifespan: float) -> None:
+        super().__init__()
+        if lifespan <= 0 or not math.isfinite(lifespan):
+            raise ValueError(f"lifespan must be positive and finite, got {lifespan}")
+        self._lifespan = float(lifespan)
+
+    def _evaluate(self, t: FloatArray) -> FloatArray:
+        return np.where(t < self._lifespan, 1.0, 0.0)
+
+    def _derivative(self, t: FloatArray) -> FloatArray:
+        return np.zeros_like(t)
+
+    def inverse(self, y: ArrayLike) -> ArrayLike:
+        arr = np.asarray(y, dtype=float)
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError("inverse() requires probabilities in [0, 1]")
+        out = np.where(arr >= 1.0, 0.0, self._lifespan)
+        return float(out) if np.ndim(y) == 0 else out
+
+    @property
+    def lifespan(self) -> float:
+        return self._lifespan
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.GENERAL
+
+
+def canonical_families() -> dict[str, LifeFunction]:
+    """One representative instance of every exported life-function family.
+
+    Covers the four Section 4 families, the extra analytic families, the
+    composition transforms (mixture, time-scaling, conditioning), and the
+    degenerate step function — the matrix the differential tests sweep.
+    """
+    return {
+        "uniform": UniformRisk(100.0),
+        "poly2": PolynomialRisk(2, 100.0),
+        "poly3": PolynomialRisk(3, 80.0),
+        "geomdec": GeometricDecreasingLifespan(1.2),
+        "geominc": GeometricIncreasingRisk(30.0),
+        "exponential": WeibullLife(k=1.0, scale=25.0),
+        "weibull_convex": WeibullLife(k=0.8, scale=20.0),
+        "weibull_general": WeibullLife(k=1.8, scale=20.0),
+        "pareto": ParetoLife(d=2.0),
+        "gompertz": GompertzLife(b=0.02, eta=0.15),
+        "loglogistic": LogLogisticLife(alpha=15.0, beta=2.5),
+        "mixture": MixtureLife([UniformRisk(50.0), UniformRisk(150.0)], [0.5, 0.5]),
+        "timescaled": TimeScaledLife(UniformRisk(100.0), 0.5),
+        "conditional": UniformRisk(120.0).conditional(30.0),
+        "deterministic": DeterministicLife(40.0),
+    }
+
+
+def reference_schedule(p: LifeFunction, c: float, m: int = 8) -> Schedule:
+    """A deterministic mildly-decreasing ``m``-period schedule scaled to ``p``.
+
+    Sized off the median reclaim time so every family — including the
+    GENERAL-shape ones the guideline scheduler rejects — gets a schedule
+    whose survival probabilities span (0, 1), exercising both banked and
+    killed periods.  Pure function of ``(p, c, m)``: no RNG consumed.
+    """
+    median = float(p.inverse(0.5))
+    first = max(2.0 * median / m, 2.0 * c + 1e-9)
+    periods = [first * (0.85**i) for i in range(m)]
+    return Schedule(periods)
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of one scalar-vs-vectorized cross-validation."""
+
+    #: Human-readable case label (family / schedule / policy).
+    label: str
+    n: int
+    #: Bit-exact agreement of per-episode works, reclaim times, and counts.
+    exact: bool
+    #: Largest absolute per-episode work discrepancy (0.0 when exact).
+    max_abs_diff: float
+    mean_scalar: float
+    mean_vectorized: float
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostic formatting
+        verdict = "EXACT" if self.exact else f"DIVERGED (max |Δ| = {self.max_abs_diff:.3g})"
+        return (
+            f"{self.label}: {verdict} over n={self.n}; "
+            f"scalar mean {self.mean_scalar:.6g}, "
+            f"vectorized mean {self.mean_vectorized:.6g}"
+        )
+
+
+def _compare(label: str, a: EpisodeBatch, b: EpisodeBatch) -> DifferentialReport:
+    exact = (
+        np.array_equal(a.reclaim_times, b.reclaim_times)
+        and np.array_equal(a.work, b.work)
+        and np.array_equal(a.periods_completed, b.periods_completed)
+    )
+    return DifferentialReport(
+        label=label,
+        n=a.n,
+        exact=exact,
+        max_abs_diff=float(np.max(np.abs(a.work - b.work))),
+        mean_scalar=a.mean_work,
+        mean_vectorized=b.mean_work,
+    )
+
+
+def differential_schedule_check(
+    schedule: Schedule,
+    p: LifeFunction,
+    c: float,
+    n: int = 2_000,
+    seed: int = 0,
+    label: str = "schedule",
+) -> DifferentialReport:
+    """Run both engines on the same seed and compare episode-by-episode.
+
+    The shared seed contract (one ``sample_reclaim_times`` call per batch)
+    means the engines see identical reclaim times; any discrepancy is an
+    accounting bug in one of them.
+    """
+    scalar = simulate_episodes_scalar(schedule, p, c, n, np.random.default_rng(seed))
+    vector = simulate_episodes_vectorized(schedule, p, c, n, np.random.default_rng(seed))
+    return _compare(label, scalar, vector)
+
+
+def differential_policy_check(
+    policy: Callable[[float], Optional[float]],
+    p: LifeFunction,
+    c: float,
+    n: int = 2_000,
+    seed: int = 0,
+    max_periods: int = 10_000,
+    label: str = "policy",
+) -> DifferentialReport:
+    """Scalar-vs-vectorized cross-validation for an elapsed-deterministic policy."""
+    scalar = simulate_policy_episodes_scalar(
+        policy, p, c, n, np.random.default_rng(seed), max_periods=max_periods
+    )
+    vector = simulate_policy_episodes_vectorized(
+        policy, p, c, n, np.random.default_rng(seed), max_periods=max_periods
+    )
+    return _compare(label, scalar, vector)
+
+
+def assert_exact_parity(report: DifferentialReport) -> None:
+    """Fail loudly if a differential check found any per-episode discrepancy."""
+    assert report.exact, (
+        f"engines diverged on {report.label}: max per-episode |Δwork| = "
+        f"{report.max_abs_diff:.6g} over n={report.n} "
+        f"(scalar mean {report.mean_scalar:.9g}, "
+        f"vectorized mean {report.mean_vectorized:.9g})"
+    )
+
+
+def statistical_parity(
+    schedule: Schedule,
+    p: LifeFunction,
+    c: float,
+    n: int = 20_000,
+    seed_scalar: int = 1,
+    seed_vectorized: int = 2,
+) -> tuple[float, float]:
+    """Independent-seed engine agreement: ``(z_engines, z_analytic)``.
+
+    Runs each engine with its *own* seed so the two sample means are
+    independent estimators of ``E(S; p)``; returns the two-sample z-statistic
+    between them and the z-statistic of the vectorized mean against the
+    analytic eq. (2.1).  Both should be small (|z| ≲ 4) for a correct engine
+    pair; the caller chooses the threshold.
+    """
+    a = simulate_episodes_scalar(schedule, p, c, n, np.random.default_rng(seed_scalar))
+    b = simulate_episodes_vectorized(
+        schedule, p, c, n, np.random.default_rng(seed_vectorized)
+    )
+    se_a = float(a.work.std(ddof=1)) / math.sqrt(n)
+    se_b = float(b.work.std(ddof=1)) / math.sqrt(n)
+    analytic = schedule.expected_work(p, c)
+    scale = max(1.0, abs(analytic))
+    z_engines = _z_or_exact(a.mean_work - b.mean_work, math.hypot(se_a, se_b), scale)
+    z_analytic = _z_or_exact(b.mean_work - analytic, se_b, scale)
+    return z_engines, z_analytic
+
+
+def _z_or_exact(delta: float, se: float, scale: float) -> float:
+    """|z| statistic, degrading to an exactness check when the variance is ~0.
+
+    Degenerate cases — e.g. :class:`DeterministicLife`, whose sample standard
+    deviation is pure float-summation noise — have no real sampling error;
+    there the means must agree to relative rounding precision, reported as
+    z = 0 (else inf).
+    """
+    if se > 1e-12 * scale:
+        return abs(delta) / se
+    return 0.0 if abs(delta) <= 1e-9 * scale else math.inf

@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for Schedule invariants and t ⊖ c
+accounting.
+
+Randomized instances pin the algebra of eq. (2.1) itself:
+
+* expected work is non-negative and monotone non-increasing in the overhead
+  ``c`` (every period's ``t ⊖ c`` is);
+* for degenerate life functions (the ``p ≡ 1``-on-support step function,
+  i.e. a deterministic reclaim at ``L``) eq. (2.1) collapses to the exact
+  finite sum ``sum_{T_i < L} (t_i ⊖ c)`` — including ``L`` beyond the
+  schedule span, where every period banks;
+* realized work is a non-decreasing step function of the reclaim time,
+  bounded by the all-periods total, and the batch helper agrees with the
+  scalar ``Schedule.realized_work`` everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.life_functions import UniformRisk
+from repro.core.schedule import Schedule
+from repro.simulation.episode import completed_periods, realized_work
+from repro.simulation.testing import DeterministicLife
+
+periods_strategy = st.lists(
+    st.floats(min_value=0.05, max_value=40.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=10,
+)
+overhead_strategy = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(periods=periods_strategy, c=overhead_strategy)
+def test_work_per_period_is_t_minus_c_clamped(periods, c):
+    s = Schedule(periods)
+    expected = np.maximum(0.0, np.asarray(periods) - c)
+    np.testing.assert_allclose(s.work_per_period(c), expected)
+    assert np.all(s.work_per_period(c) >= 0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(periods=periods_strategy, c=overhead_strategy)
+def test_expected_work_nonnegative(periods, c):
+    s = Schedule(periods)
+    p = UniformRisk(120.0)
+    assert s.expected_work(p, c) >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    periods=periods_strategy,
+    c_lo=overhead_strategy,
+    c_delta=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+)
+def test_expected_work_monotone_nonincreasing_in_c(periods, c_lo, c_delta):
+    """More overhead can never increase E(S; p): t ⊖ c shrinks pointwise."""
+    s = Schedule(periods)
+    p = UniformRisk(120.0)
+    hi = s.expected_work(p, c_lo)
+    lo = s.expected_work(p, c_lo + c_delta)
+    assert lo <= hi + 1e-12 * max(1.0, abs(hi))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    periods=periods_strategy,
+    c=overhead_strategy,
+    lifespan=st.floats(min_value=0.5, max_value=500.0, allow_nan=False),
+)
+def test_degenerate_life_equals_exact_sum(periods, c, lifespan):
+    """Eq. (2.1) with a step life function is the literal §2.1 sum."""
+    s = Schedule(periods)
+    p = DeterministicLife(lifespan)
+    analytic = s.expected_work(p, c)
+    exact = float(np.sum(s.work_per_period(c)[s.boundaries < lifespan]))
+    assert analytic == pytest.approx(exact, rel=1e-12, abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(periods=periods_strategy, c=overhead_strategy)
+def test_degenerate_life_beyond_span_banks_everything(periods, c):
+    """A reclaim after T_{m-1} banks every period: E = sum(t_i ⊖ c)."""
+    s = Schedule(periods)
+    p = DeterministicLife(s.total_length * 1.5 + 1.0)
+    assert s.expected_work(p, c) == pytest.approx(float(np.sum(s.work_per_period(c))))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    periods=periods_strategy,
+    c=overhead_strategy,
+    reclaims=st.lists(
+        st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+        min_size=1,
+        max_size=16,
+    ),
+)
+def test_batch_realized_work_matches_scalar(periods, c, reclaims):
+    s = Schedule(periods)
+    batch = realized_work(s, np.asarray(reclaims), c)
+    scalar = np.array([s.realized_work(r, c) for r in reclaims])
+    # cumsum (batch) vs pairwise np.sum (scalar) differ in the last ulp.
+    np.testing.assert_allclose(np.atleast_1d(batch), scalar, rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(periods=periods_strategy, c=overhead_strategy)
+def test_realized_work_monotone_in_reclaim_time(periods, c):
+    """Surviving longer never loses banked work, and never beats the total."""
+    s = Schedule(periods)
+    grid = np.linspace(0.0, s.total_length * 1.2 + 1.0, 64)
+    works = np.atleast_1d(realized_work(s, grid, c))
+    assert np.all(np.diff(works) >= 0.0)
+    assert works[0] == 0.0  # reclaim at 0 banks nothing
+    assert works[-1] == pytest.approx(float(np.sum(s.work_per_period(c))))
+
+
+@settings(max_examples=60, deadline=None)
+@given(periods=periods_strategy)
+def test_completed_periods_draconian_at_boundaries(periods):
+    """A reclaim exactly at T_k completes exactly k periods (kills period k)."""
+    s = Schedule(periods)
+    ks = completed_periods(s, s.boundaries)
+    np.testing.assert_array_equal(ks, np.arange(s.num_periods))

@@ -60,6 +60,33 @@ class TestParsing:
         with pytest.raises(SystemExit):
             main(["fit", str(path), "--c", "0.5"])
 
+    @pytest.mark.parametrize("engine", ["vectorized", "scalar"])
+    def test_mc_engines(self, capsys, engine):
+        status = main(["mc", "--family", "uniform", "--lifespan", "100",
+                       "--c", "2", "--n", "20000", "--engine", engine])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert f"engine        : {engine}" in out
+        assert "consistent    : True" in out
+
+    def test_mc_engines_identical_output(self, capsys):
+        """Same seed => both engines print the same estimate."""
+        main(["mc", "--family", "geominc", "--lifespan", "30", "--c", "1",
+              "--n", "10000", "--engine", "vectorized"])
+        vec = capsys.readouterr().out
+        main(["mc", "--family", "geominc", "--lifespan", "30", "--c", "1",
+              "--n", "10000", "--engine", "scalar"])
+        sca = capsys.readouterr().out
+        pick = lambda txt: [l for l in txt.splitlines()
+                            if l.startswith(("MC mean", "analytic", "|z|"))]
+        assert pick(vec) == pick(sca)
+
+    def test_mc_confidence_flag(self, capsys):
+        status = main(["mc", "--family", "uniform", "--lifespan", "100",
+                       "--c", "2", "--n", "5000", "--confidence", "0.99"])
+        assert status == 0
+        assert "99% CI" in capsys.readouterr().out
+
 
 class TestLifeFunctionFactory:
     def test_all_families(self):

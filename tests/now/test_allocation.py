@@ -6,9 +6,13 @@ import pytest
 
 import repro
 from repro.exceptions import SimulationError
+import numpy as np
+
 from repro.now.allocation import (
     StationProfile,
     episode_value,
+    estimate_episode_value,
+    estimate_steal_rate,
     select_stations,
     steal_rate,
 )
@@ -51,6 +55,33 @@ class TestStealRate:
         often = steal_rate(_profile(0, p, present=5.0), 2.0)
         rarely = steal_rate(_profile(1, p, present=500.0), 2.0)
         assert often > rarely
+
+
+class TestMonteCarloEstimators:
+    @pytest.mark.parametrize("engine", ["vectorized", "scalar"])
+    def test_episode_value_consistent_with_analytic(self, engine):
+        p = repro.UniformRisk(100.0)
+        prof = _profile(0, p, speed=2.0)
+        est = estimate_episode_value(
+            prof, 2.0, n=40_000, rng=np.random.default_rng(5), engine=engine
+        )
+        assert est.consistent_with(episode_value(prof, 2.0))
+        assert est.stderr > 0.0
+
+    def test_steal_rate_consistent_with_analytic(self):
+        p = repro.UniformRisk(100.0)
+        prof = _profile(0, p, present=25.0)
+        est = estimate_steal_rate(prof, 2.0, n=40_000, rng=np.random.default_rng(6))
+        assert est.consistent_with(steal_rate(prof, 2.0))
+
+    def test_unschedulable_station_worth_zero(self):
+        # beta <= 1 log-logistic: tail too heavy to bracket -> scheduler refuses.
+        from repro.core.life_functions import LogLogisticLife
+
+        prof = _profile(0, LogLogisticLife(alpha=15.0, beta=0.8))
+        est = estimate_episode_value(prof, 1.0, n=100)
+        assert est.mean == 0.0 and est.stderr == 0.0
+        assert episode_value(prof, 1.0) == 0.0
 
 
 class TestSelection:

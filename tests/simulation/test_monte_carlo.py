@@ -32,6 +32,24 @@ class TestEstimate:
         assert est.consistent_with(5.0)
         assert not est.consistent_with(5.1)
 
+    def test_ci_confidence_quantiles(self):
+        """ci(confidence) uses the right two-sided normal quantiles."""
+        est = MCEstimate(mean=10.0, stderr=1.0, n=100)
+        lo90, hi90 = est.ci(0.90)
+        assert hi90 - lo90 == pytest.approx(2 * 1.6448536269514722, rel=1e-9)
+        lo99, hi99 = est.ci(0.99)
+        assert hi99 - lo99 == pytest.approx(2 * 2.5758293035489004, rel=1e-9)
+        # Default coverage is 0.95 and matches the ci95 shorthand.
+        assert est.ci() == est.ci95 == est.ci(0.95)
+        # Intervals nest: wider coverage, wider interval.
+        assert lo99 < lo90 < 10.0 < hi90 < hi99
+
+    def test_ci_invalid_confidence(self):
+        est = MCEstimate(mean=10.0, stderr=1.0, n=100)
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                est.ci(bad)
+
 
 class TestExpectedWorkValidation:
     def test_matches_analytic(self, paper_life, rng):
@@ -58,6 +76,14 @@ class TestExpectedWorkValidation:
         a = estimate_expected_work(s, p, 1.0, n=10_000)
         b = estimate_expected_work(s, p, 1.0, n=10_000)
         assert a.mean == b.mean
+
+    def test_unknown_engine_rejected(self):
+        p = UniformRisk(40.0)
+        s = Schedule([10.0, 7.0])
+        with pytest.raises(ValueError, match="unknown engine"):
+            estimate_expected_work(s, p, 1.0, n=100, engine="quantum")
+        with pytest.raises(ValueError, match="unknown engine"):
+            estimate_policy_work(lambda e: 2.0, p, 1.0, n=10, engine="quantum")
 
 
 class TestPolicyWork:

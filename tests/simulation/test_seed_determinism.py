@@ -1,0 +1,130 @@
+"""Seed-determinism regression: every public sampler/simulator is a pure
+function of its generator state.
+
+The RNG-consumption contract (documented on each function) is load-bearing:
+the differential harness, the EV-MC reproduction tables, and cross-engine
+result equality all assume that an identical ``numpy.random.Generator`` seed
+yields identical outputs — per episode, not just in distribution.  These
+tests pin that contract for ``simulate_episodes`` (both engines),
+``estimate_expected_work``, ``estimate_policy_work``, the farm-level
+allocation estimators, and ``run_farm``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.life_functions import GeometricDecreasingLifespan, UniformRisk
+from repro.core.schedule import Schedule
+from repro.now.allocation import StationProfile, estimate_episode_value
+from repro.now.farm import run_farm
+from repro.now.network import Network, Workstation
+from repro.now.owner import OwnerProcess
+from repro.simulation import (
+    estimate_expected_work,
+    estimate_policy_work,
+    simulate_episodes,
+)
+from repro.workloads.generators import uniform_tasks
+from repro.workloads.tasks import TaskPool
+
+SEED = 20260806
+
+
+def _gen() -> np.random.Generator:
+    return np.random.default_rng(SEED)
+
+
+class TestEpisodeDeterminism:
+    @pytest.mark.parametrize("engine", ["vectorized", "scalar"])
+    def test_same_seed_same_episodes(self, engine):
+        p = UniformRisk(80.0)
+        s = Schedule([15.0, 12.0, 9.0, 6.0])
+        a = simulate_episodes(s, p, 1.0, 5_000, _gen(), engine=engine)
+        b = simulate_episodes(s, p, 1.0, 5_000, _gen(), engine=engine)
+        np.testing.assert_array_equal(a.reclaim_times, b.reclaim_times)
+        np.testing.assert_array_equal(a.work, b.work)
+        np.testing.assert_array_equal(a.periods_completed, b.periods_completed)
+
+    def test_engines_share_one_stream(self):
+        """Same seed => the engines see the *same* reclaim times (the RNG
+        contract: exactly one sample_reclaim_times(rng, n) call per batch)."""
+        p = UniformRisk(80.0)
+        s = Schedule([15.0, 12.0, 9.0])
+        a = simulate_episodes(s, p, 1.0, 3_000, _gen(), engine="vectorized")
+        b = simulate_episodes(s, p, 1.0, 3_000, _gen(), engine="scalar")
+        np.testing.assert_array_equal(a.reclaim_times, b.reclaim_times)
+        np.testing.assert_array_equal(a.work, b.work)
+
+
+class TestEstimatorDeterminism:
+    @pytest.mark.parametrize("engine", ["vectorized", "scalar"])
+    def test_expected_work(self, engine):
+        p = GeometricDecreasingLifespan(1.3)
+        s = Schedule([4.0, 3.0, 2.0])
+        a = estimate_expected_work(s, p, 0.5, n=20_000, rng=_gen(), engine=engine)
+        b = estimate_expected_work(s, p, 0.5, n=20_000, rng=_gen(), engine=engine)
+        assert (a.mean, a.stderr, a.n) == (b.mean, b.stderr, b.n)
+
+    def test_expected_work_engine_equality(self):
+        """Switching engine never changes the estimate (same seed)."""
+        p = GeometricDecreasingLifespan(1.3)
+        s = Schedule([4.0, 3.0, 2.0])
+        a = estimate_expected_work(s, p, 0.5, n=20_000, rng=_gen(), engine="vectorized")
+        b = estimate_expected_work(s, p, 0.5, n=20_000, rng=_gen(), engine="scalar")
+        assert (a.mean, a.stderr) == (b.mean, b.stderr)
+
+    @pytest.mark.parametrize("engine", ["vectorized", "scalar"])
+    def test_policy_work(self, engine):
+        p = UniformRisk(60.0)
+        policy = lambda elapsed: 5.0 if elapsed < 50.0 else None
+        a = estimate_policy_work(policy, p, 1.0, n=4_000, rng=_gen(), engine=engine)
+        b = estimate_policy_work(policy, p, 1.0, n=4_000, rng=_gen(), engine=engine)
+        assert (a.mean, a.stderr, a.n) == (b.mean, b.stderr, b.n)
+
+    def test_policy_work_engine_equality(self):
+        p = UniformRisk(60.0)
+        policy = lambda elapsed: 5.0 if elapsed < 50.0 else None
+        a = estimate_policy_work(policy, p, 1.0, n=4_000, rng=_gen(), engine="scalar")
+        b = estimate_policy_work(policy, p, 1.0, n=4_000, rng=_gen(), engine="vectorized")
+        assert (a.mean, a.stderr) == (b.mean, b.stderr)
+
+    def test_station_estimator(self):
+        profile = StationProfile(ws_id=0, life=UniformRisk(120.0), mean_present=30.0)
+        a = estimate_episode_value(profile, 2.0, n=20_000, rng=_gen())
+        b = estimate_episode_value(profile, 2.0, n=20_000, rng=_gen())
+        assert (a.mean, a.stderr) == (b.mean, b.stderr)
+        c_ = estimate_episode_value(profile, 2.0, n=20_000, rng=_gen(), engine="scalar")
+        assert (a.mean, a.stderr) == (c_.mean, c_.stderr)
+
+
+class TestFarmDeterminism:
+    def _run(self):
+        p = GeometricDecreasingLifespan(1.2)
+        stations = [
+            Workstation(i, OwnerProcess.from_life_function(p, present_mean=10.0))
+            for i in range(3)
+        ]
+        net = Network(stations, c=1.0)
+        pool = TaskPool.from_durations(uniform_tasks(300, 0.5))
+        from repro.baselines.policies import FixedChunkPolicy
+
+        return run_farm(net, pool, lambda ws: FixedChunkPolicy(4.0), 400.0, _gen())
+
+    def test_same_seed_same_farm_run(self):
+        a = self._run()
+        b = self._run()
+        assert a.tasks_completed == b.tasks_completed
+        assert a.events_processed == b.events_processed
+        assert a.completion_time == b.completion_time or (
+            np.isnan(a.completion_time) and np.isnan(b.completion_time)
+        )
+        for ws_id, stats in a.stats.items():
+            other = b.stats[ws_id]
+            assert stats.episodes == other.episodes
+            assert stats.periods_committed == other.periods_committed
+            assert stats.periods_killed == other.periods_killed
+            assert stats.work_done == other.work_done
+            assert stats.work_lost == other.work_lost
+            assert stats.overhead_paid == other.overhead_paid
