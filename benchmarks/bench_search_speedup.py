@@ -1,0 +1,161 @@
+"""SEARCH-SPEEDUP — batch vs scalar recurrence sweep micro-benchmark.
+
+Times the Corollary 3.1 recurrence over a 129-point ``t_0`` grid two ways for
+each Section 4 family — one scalar :func:`generate_schedule` walk per grid
+point vs one lane-based :func:`generate_schedules_batch` call — verifies
+lane-for-lane parity, and records the speedups.  Also times a representative
+``run_sweep`` workload serially vs on a process pool (recorded, not
+asserted: pool startup dominates on small machines).  Runs two ways:
+
+* under pytest (``pytest benchmarks/bench_search_speedup.py -s``) — asserts
+  parity and a >= 5x batch speedup per family;
+* as a script (``python benchmarks/bench_search_speedup.py [out.json]``) —
+  additionally writes a JSON artifact (default
+  ``benchmarks/BENCH_search_speedup.json``) for CI trend tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.core.batch_recurrence import generate_schedules_batch
+from repro.core.recurrence import generate_schedule
+from repro.core.testing import assert_recurrence_parity, recurrence_parity_check
+from repro.analysis.sweeps import cartesian_sweep, run_sweep
+
+GRID = 129
+REPEATS = 5
+MIN_SPEEDUP = 5.0
+
+FAMILIES = [
+    ("uniform", repro.UniformRisk(200.0), 2.0),
+    ("poly3", repro.PolynomialRisk(3, 300.0), 2.0),
+    ("geomdec", repro.GeometricDecreasingLifespan(1.2), 0.5),
+    ("geominc", repro.GeometricIncreasingRisk(30.0), 1.0),
+]
+
+
+def _t0_grid(p, c, n: int = GRID) -> np.ndarray:
+    """The widened Theorem 3.2/3.3 grid the optimizer itself sweeps."""
+    bracket = repro.t0_bracket(p, c)
+    lo = max(c * (1 + 1e-9), bracket.lo / 1.5)
+    hi = bracket.hi * 1.5
+    if np.isfinite(p.lifespan):
+        hi = min(hi, p.lifespan * (1 - 1e-12))
+    return np.linspace(lo, hi, n)
+
+
+def _median_time(fn, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def _sweep_point(L: float, c: float) -> list:
+    """Module-level run_sweep target (picklable for the process pool)."""
+    t0, outcome, ew = repro.optimize_t0_via_recurrence(repro.UniformRisk(L), c)
+    return [t0, outcome.schedule.num_periods, ew]
+
+
+def measure(grid: int = GRID, repeats: int = REPEATS) -> dict:
+    """Benchmark every family and the sweep harness; return the record."""
+    families = {}
+    for label, p, c in FAMILIES:
+        ts = _t0_grid(p, c, grid)
+        report = recurrence_parity_check(p, c, ts, label=f"{label}-speedup")
+        assert_recurrence_parity(report)
+
+        def scalar_grid():
+            for t0 in ts:
+                generate_schedule(p, c, float(t0))
+
+        scalar_s = _median_time(scalar_grid, repeats)
+        batch_s = _median_time(lambda: generate_schedules_batch(p, c, ts), repeats)
+        families[label] = {
+            "grid_points": grid,
+            "scalar_seconds": scalar_s,
+            "batch_seconds": batch_s,
+            "speedup": scalar_s / batch_s,
+            "parity": report.match,
+        }
+
+    sweep_params = cartesian_sweep(L=[100.0, 200.0, 400.0, 800.0], c=[1.0, 2.0])
+    serial_s = _median_time(lambda: run_sweep(sweep_params, _sweep_point), 1)
+    start = time.perf_counter()
+    parallel_points = run_sweep(sweep_params, _sweep_point, n_jobs=2)
+    parallel_s = time.perf_counter() - start
+    serial_points = run_sweep(sweep_params, _sweep_point)
+    sweep_match = all(
+        a.params == b.params and np.allclose(a.row, b.row)
+        for a, b in zip(serial_points, parallel_points)
+    )
+    return {
+        "grid_points": grid,
+        "families": families,
+        "min_family_speedup": min(f["speedup"] for f in families.values()),
+        "sweep": {
+            "points": len(sweep_params),
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "n_jobs": 2,
+            "results_match": sweep_match,
+        },
+    }
+
+
+def test_search_speedup():
+    record = measure()
+    print("\nSEARCH-SPEEDUP (129-point t0 grid, batch vs scalar recurrence):")
+    for label, f in record["families"].items():
+        print(
+            f"  {label:8s} scalar {f['scalar_seconds'] * 1e3:7.2f} ms, "
+            f"batch {f['batch_seconds'] * 1e3:6.2f} ms -> {f['speedup']:.1f}x "
+            f"(parity: {f['parity']})"
+        )
+    sw = record["sweep"]
+    print(
+        f"  sweep    serial {sw['serial_seconds'] * 1e3:.0f} ms, "
+        f"2-proc {sw['parallel_seconds'] * 1e3:.0f} ms over {sw['points']} points "
+        f"(match: {sw['results_match']})"
+    )
+    assert sw["results_match"]
+    for label, f in record["families"].items():
+        assert f["parity"], label
+        assert f["speedup"] >= MIN_SPEEDUP, (label, f)
+
+
+def main(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "out", nargs="?", type=Path,
+        default=Path(__file__).parent / "BENCH_search_speedup.json",
+        help="JSON artifact path (default: benchmarks/BENCH_search_speedup.json)",
+    )
+    parser.add_argument("--grid", type=int, default=GRID,
+                        help="t0 grid resolution (default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=REPEATS,
+                        help="timing repeats, median taken (default: %(default)s)")
+    args = parser.parse_args(argv)
+    record = measure(grid=args.grid, repeats=args.repeats)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {args.out}")
+    ok = record["min_family_speedup"] >= MIN_SPEEDUP and all(
+        f["parity"] for f in record["families"].values()
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

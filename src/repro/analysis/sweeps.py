@@ -1,10 +1,23 @@
-"""Parameter-sweep utilities shared by the benchmark harness."""
+"""Parameter-sweep utilities shared by the benchmark harness.
+
+:func:`run_sweep` evaluates one callable over a list of parameter dicts.  By
+default it runs serially (zero overhead, exact legacy behaviour); pass
+``n_jobs`` to fan the sweep out over a process pool, or ``executor`` to reuse
+a pool (process, thread, or any other :class:`concurrent.futures.Executor`)
+the caller manages.  Results always come back in input order.
+
+For process pools the swept callable must be picklable — i.e. defined at
+module level, not a lambda or closure.
+"""
 
 from __future__ import annotations
 
 import itertools
+import math
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 __all__ = ["SweepPoint", "cartesian_sweep", "run_sweep"]
 
@@ -28,9 +41,69 @@ def cartesian_sweep(**axes: Iterable[Any]) -> list[dict[str, Any]]:
     return [dict(zip(names, combo)) for combo in combos]
 
 
+class _SweepCall:
+    """Picklable ``params -> row`` adapter for ``Executor.map``."""
+
+    def __init__(self, fn: Callable[..., Sequence[Any]]) -> None:
+        self.fn = fn
+
+    def __call__(self, params: Mapping[str, Any]) -> Sequence[Any]:
+        return self.fn(**params)
+
+
 def run_sweep(
     params_list: Sequence[Mapping[str, Any]],
     fn: Callable[..., Sequence[Any]],
+    n_jobs: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    chunksize: Optional[int] = None,
 ) -> list[SweepPoint]:
-    """Apply ``fn(**params)`` over a parameter list, collecting rows."""
-    return [SweepPoint(dict(params), fn(**params)) for params in params_list]
+    """Apply ``fn(**params)`` over a parameter list, collecting rows in order.
+
+    Parameters
+    ----------
+    n_jobs:
+        ``None`` or ``1`` — run serially in this process (default).
+        ``-1`` — one worker per available CPU.  Any other positive integer —
+        that many process-pool workers.  Ignored when ``executor`` is given.
+    executor:
+        A caller-managed :class:`concurrent.futures.Executor` to submit to;
+        the caller keeps responsibility for shutting it down.
+    chunksize:
+        Points per worker task (amortizes IPC for cheap ``fn``).  Defaults to
+        ``ceil(len(params_list) / (4 * workers))`` so each worker sees ~4
+        chunks — coarse enough to amortize pickling, fine enough to balance.
+    """
+    if executor is None and (n_jobs is None or n_jobs == 1):
+        return [SweepPoint(dict(params), fn(**params)) for params in params_list]
+
+    if executor is not None:
+        return _run_on_executor(params_list, fn, executor, chunksize, workers=None)
+
+    assert n_jobs is not None
+    if n_jobs == -1:
+        n_jobs = os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be a positive integer or -1, got {n_jobs}")
+    pool = ProcessPoolExecutor(max_workers=n_jobs)
+    try:
+        return _run_on_executor(params_list, fn, pool, chunksize, workers=n_jobs)
+    finally:
+        pool.shutdown(wait=True)
+
+
+def _run_on_executor(
+    params_list: Sequence[Mapping[str, Any]],
+    fn: Callable[..., Sequence[Any]],
+    executor: Executor,
+    chunksize: Optional[int],
+    workers: Optional[int],
+) -> list[SweepPoint]:
+    if chunksize is None:
+        if workers is None:
+            workers = getattr(executor, "_max_workers", None) or (os.cpu_count() or 1)
+        chunksize = max(1, math.ceil(len(params_list) / (4 * workers)))
+    call = _SweepCall(fn)
+    plain = [dict(params) for params in params_list]
+    rows = list(executor.map(call, plain, chunksize=chunksize))
+    return [SweepPoint(params, row) for params, row in zip(plain, rows)]

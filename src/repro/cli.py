@@ -15,6 +15,10 @@ Commands
     Monte-Carlo validation of eq. (2.1): simulate episodes of the guideline
     schedule on a chosen engine (``--engine vectorized|scalar``) and compare
     the sample mean against the analytic expected work.
+``t0opt``
+    Optimize ``t_0`` over the Corollary 3.1 recurrence family on a chosen
+    search engine (``--engine batch|scalar``) and grid resolution, printing
+    the chosen ``t_0``, period count, and expected work.
 
 Examples
 --------
@@ -25,6 +29,7 @@ Examples
     python -m repro compare --family geominc --lifespan 30 --c 1
     python -m repro fit durations.txt --c 2.0
     python -m repro mc --family uniform --lifespan 480 --c 3 --n 200000
+    python -m repro t0opt --family uniform --lifespan 480 --c 3 --grid 257
 """
 
 from __future__ import annotations
@@ -108,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="batch simulation engine (default vectorized)")
     p_mc.add_argument("--confidence", type=float, default=0.95,
                       help="CI coverage probability (default 0.95)")
+
+    p_t0 = sub.add_parser("t0opt", help="optimize t0 over the recurrence family")
+    _add_family_args(p_t0)
+    p_t0.add_argument("--engine", default="batch", choices=["batch", "scalar"],
+                      help="recurrence search engine (default batch)")
+    p_t0.add_argument("--grid", type=int, default=129,
+                      help="t0 grid resolution over the bracket (default 129)")
+    p_t0.add_argument("--widen", type=float, default=1.5,
+                      help="bracket widening factor (default 1.5)")
     return parser
 
 
@@ -187,6 +201,22 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     return 0 if est.consistent_with(result.expected_work, z=4.5) else 1
 
 
+def _cmd_t0opt(args: argparse.Namespace) -> int:
+    if args.grid < 2:
+        raise SystemExit(f"--grid must be >= 2, got {args.grid}")
+    p = make_life_function(args)
+    t0, outcome, ew = core.optimize_t0_via_recurrence(
+        p, args.c, grid=args.grid, widen=args.widen, engine=args.engine
+    )
+    print(f"life function : {p!r}")
+    print(f"engine        : {args.engine}  (grid = {args.grid}, widen = {args.widen})")
+    print(f"t0 chosen     : {t0:.6g}")
+    print(f"periods       : {outcome.schedule.num_periods}")
+    print(f"termination   : {outcome.termination.value}")
+    print(f"expected work : {ew:.6g}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit status."""
     args = build_parser().parse_args(argv)
@@ -198,6 +228,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_fit(args)
     if args.command == "mc":
         return _cmd_mc(args)
+    if args.command == "t0opt":
+        return _cmd_t0opt(args)
     raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
 
 

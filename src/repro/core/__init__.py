@@ -7,6 +7,11 @@ greedy/progressive schedulers (Section 6), and the Section 5 structural
 analysis tools.
 """
 
+from .batch_recurrence import (
+    BatchRecurrenceResult,
+    batch_expected_work,
+    generate_schedules_batch,
+)
 from .exact import (
     ExactResult,
     geometric_decreasing_optimal_period,
@@ -118,6 +123,7 @@ __all__ = [
     # recurrence and guidelines
     "generate_schedule", "next_period", "recurrence_residuals",
     "satisfies_recurrence", "RecurrenceOutcome", "Termination",
+    "BatchRecurrenceResult", "generate_schedules_batch", "batch_expected_work",
     "guideline_schedule", "GuidelineResult",
     # t0 bounds
     "t0_bracket", "lower_bound_t0", "upper_bound_t0",

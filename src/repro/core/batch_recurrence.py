@@ -1,0 +1,346 @@
+"""Batch schedule-search engine: the Corollary 3.1 recurrence over t0 *vectors*.
+
+The scalar engine (:func:`repro.core.recurrence.generate_schedule`) iterates
+system (3.6) for one initial period ``t_0`` at a time — ``O(grid × periods)``
+Python-level steps for a ``t_0`` sweep, which is the dominant cost of the
+paper's search recipe (grid the Theorem 3.2/3.3 bracket, score ``E(S; p)``,
+refine).  This module iterates the same system for an **entire vector of
+``t_0`` candidates simultaneously**:
+
+* each candidate occupies one *lane* of a NumPy state block
+  ``(T_{k-1}, t_{k-1}, p(T_{k-1}), E_{so far})``;
+* every recurrence step issues one vectorized ``p(...)`` /
+  ``p.derivative(...)`` / ``p.inverse(...)`` call over the still-alive lanes
+  (with vectorized closed forms for the Section 4 families, mirroring
+  :func:`repro.core.recurrence._closed_form_step`);
+* lanes terminate independently, with the same rules and priority order as
+  the scalar engine (``LIFESPAN_EXHAUSTED``, ``TARGET_NONPOSITIVE``,
+  ``UNPRODUCTIVE``, ``TAIL_NEGLIGIBLE``, ``MAX_PERIODS``), so a whole grid
+  costs ``O(max periods)`` vector operations.
+
+The scalar engine remains the specification: for every lane the batch engine
+must reproduce its periods, boundaries, recurrence targets, and termination
+reason (up to ULP-scale float noise from ``numpy`` vs ``math`` transcendental
+kernels).  :mod:`repro.core.testing` packages that cross-validation in the
+style of the simulation engines' differential harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import InvalidScheduleError
+from ..types import FloatArray
+from .life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    LifeFunction,
+    PolynomialRisk,
+)
+from .recurrence import RecurrenceOutcome, Termination
+from .schedule import Schedule
+
+__all__ = [
+    "BatchRecurrenceResult",
+    "generate_schedules_batch",
+    "batch_expected_work",
+]
+
+#: Stable integer codes for per-lane termination bookkeeping.
+_TERMINATION_BY_CODE: tuple[Termination, ...] = (
+    Termination.TARGET_NONPOSITIVE,
+    Termination.UNPRODUCTIVE,
+    Termination.LIFESPAN_EXHAUSTED,
+    Termination.TAIL_NEGLIGIBLE,
+    Termination.MAX_PERIODS,
+)
+_CODE: dict[Termination, int] = {t: i for i, t in enumerate(_TERMINATION_BY_CODE)}
+
+
+@dataclass(frozen=True)
+class BatchRecurrenceResult:
+    """Guideline schedules for a vector of ``t_0`` candidates, plus diagnostics.
+
+    Lane ``i`` holds the schedule the Corollary 3.1 recurrence generates from
+    ``t0s[i]``.  Ragged per-lane data is stored as NaN-padded rectangular
+    arrays; :meth:`schedule` / :meth:`outcome` materialize single lanes in the
+    scalar engine's types.
+    """
+
+    #: The initial period candidates, one per lane.
+    t0s: FloatArray
+    #: Period lengths, shape ``(n_lanes, max_m)``; NaN beyond a lane's end.
+    periods: FloatArray
+    #: Number of periods per lane.
+    num_periods: np.ndarray
+    #: Per-lane termination codes (indices into ``_TERMINATION_BY_CODE``).
+    termination_codes: np.ndarray
+    #: Recurrence targets, shape ``(n_lanes, max_m - 1)``; NaN-padded.
+    targets: FloatArray
+    #: ``E(S(t_0); p)`` per lane (eq. 2.1, scored over the emitted periods).
+    expected_work: FloatArray
+
+    @property
+    def n_lanes(self) -> int:
+        return int(self.t0s.size)
+
+    @property
+    def boundaries(self) -> FloatArray:
+        """Cumulative period boundaries ``T_k`` per lane (NaN-padded)."""
+        out = np.cumsum(np.where(np.isnan(self.periods), 0.0, self.periods), axis=1)
+        out[np.isnan(self.periods)] = np.nan
+        return out
+
+    @property
+    def best(self) -> int:
+        """Index of the lane with the largest expected work."""
+        return int(np.argmax(self.expected_work))
+
+    def termination(self, i: int) -> Termination:
+        """The termination reason of lane ``i``."""
+        return _TERMINATION_BY_CODE[int(self.termination_codes[i])]
+
+    @property
+    def terminations(self) -> tuple[Termination, ...]:
+        """Per-lane termination reasons, in lane order."""
+        return tuple(_TERMINATION_BY_CODE[int(code)] for code in self.termination_codes)
+
+    def schedule(self, i: int) -> Schedule:
+        """Materialize lane ``i`` as a :class:`Schedule`."""
+        m = int(self.num_periods[i])
+        return Schedule(self.periods[i, :m])
+
+    def outcome(self, i: int) -> RecurrenceOutcome:
+        """Materialize lane ``i`` in the scalar engine's result type."""
+        m = int(self.num_periods[i])
+        targets = self.targets[i, : m - 1] if m > 1 else np.array([])
+        return RecurrenceOutcome(
+            self.schedule(i), self.termination(i), np.asarray(targets, dtype=float).copy()
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized closed-form steps for the Section 4 families
+# ----------------------------------------------------------------------
+
+
+def _batch_closed_form_step(
+    p: LifeFunction, c: float, t_prev: FloatArray, boundary_prev: FloatArray
+) -> Optional[FloatArray]:
+    """Vectorized Section 4 closed form; NaN lanes mean "no next period".
+
+    Mirrors :func:`repro.core.recurrence._closed_form_step` lane-wise;
+    ``None`` means the family has no closed form (use the generic path).
+    """
+    if isinstance(p, PolynomialRisk):
+        if p.d == 1:
+            return t_prev - c
+        ratio = 1.0 + p.d * (t_prev - c) / boundary_prev
+        ok = ratio > 0.0
+        out = np.full_like(t_prev, np.nan)
+        out[ok] = (ratio[ok] ** (1.0 / p.d) - 1.0) * boundary_prev[ok]
+        return out
+    if isinstance(p, GeometricDecreasingLifespan):
+        arg = 1.0 + (c - t_prev) * p.ln_a
+        ok = arg > 0.0
+        out = np.full_like(t_prev, np.nan)
+        out[ok] = -np.log(arg[ok]) / p.ln_a
+        return out
+    if isinstance(p, GeometricIncreasingRisk):
+        arg = (t_prev - c) * math.log(2.0) + 1.0
+        ok = arg > 0.0
+        out = np.full_like(t_prev, np.nan)
+        out[ok] = np.log2(arg[ok])
+        return out
+    return None
+
+
+# ----------------------------------------------------------------------
+# The lane engine
+# ----------------------------------------------------------------------
+
+
+def generate_schedules_batch(
+    p: LifeFunction,
+    c: float,
+    t0s: Union[Sequence[float], FloatArray],
+    max_periods: int = 10_000,
+    tail_tol: float = 1e-12,
+    use_closed_form: bool = True,
+) -> BatchRecurrenceResult:
+    """Iterate system (3.6) from every ``t_0`` in ``t0s`` simultaneously.
+
+    Lane-for-lane equivalent to calling
+    :func:`repro.core.recurrence.generate_schedule` on each candidate — same
+    termination rules in the same priority order, same recurrence targets,
+    same lifespan clamping (``t_0 >= L`` collapses to a single clamped period
+    with ``LIFESPAN_EXHAUSTED``) — but each recurrence step costs a constant
+    number of vector operations over the still-alive lanes instead of one
+    Python iteration per lane.
+
+    Raises
+    ------
+    InvalidScheduleError
+        If ``c < 0``, ``t0s`` is empty or not one-dimensional, or any lane
+        has ``t0 <= c`` (every initial period must be productive, exactly as
+        the scalar engine requires).
+    """
+    if c < 0:
+        raise InvalidScheduleError(f"overhead c must be nonnegative, got {c}")
+    t0_arr = np.asarray(t0s, dtype=float)
+    if t0_arr.ndim != 1:
+        raise InvalidScheduleError(f"t0s must be one-dimensional, got shape {t0_arr.shape}")
+    if t0_arr.size == 0:
+        raise InvalidScheduleError("need at least one t0 candidate")
+    if not np.all(np.isfinite(t0_arr)):
+        raise InvalidScheduleError("t0 candidates must be finite")
+    if np.any(t0_arr <= c):
+        bad = float(t0_arr[t0_arr <= c][0])
+        raise InvalidScheduleError(
+            f"initial period t0 = {bad} must exceed the overhead c = {c}"
+        )
+
+    n = t0_arr.size
+    lifespan = p.lifespan
+    finite_life = math.isfinite(lifespan)
+
+    term = np.full(n, _CODE[Termination.MAX_PERIODS], dtype=np.int8)
+    alive = np.ones(n, dtype=bool)
+    first = t0_arr.copy()
+    if finite_life:
+        # A t0 spanning the whole lifespan earns p(L) = 0; clamp rather than
+        # reject so t0 sweeps remain total (scalar engine's pre-loop rule).
+        clamped = t0_arr >= lifespan
+        if np.any(clamped):
+            first[clamped] = np.minimum(t0_arr[clamped], lifespan)
+            term[clamped] = _CODE[Termination.LIFESPAN_EXHAUSTED]
+            alive[clamped] = False
+
+    sqrt_tail = math.sqrt(tail_tol)
+    edge = lifespan - 1e-15 * lifespan if finite_life else math.inf
+
+    # Compacted live-lane state: ``idx`` maps the compact rows back to lanes;
+    # everything else (previous period, boundary T_{k-1}, p(T_{k-1}), banked
+    # E) lives in dense arrays the vector ops run over directly.  Dead lanes
+    # are dropped by boolean compaction instead of masked out, so per-step
+    # cost tracks the number of *surviving* candidates.
+    idx = np.nonzero(alive)[0]
+    tp = first[idx]
+    b = first[idx]
+    ph = np.asarray(p(b), dtype=float) if idx.size else np.empty(0)
+    e = np.maximum(0.0, tp - c) * ph
+
+    # NaN-padded output buffers, grown geometrically; column k holds period
+    # k+1 (and its recurrence target) for the lanes that reached it.
+    cap = 32
+    periods_buf = np.full((n, cap), np.nan)
+    targets_buf = np.full((n, cap), np.nan)
+    k = 0
+
+    for _ in range(max_periods - 1):
+        if idx.size == 0:
+            break
+        if finite_life:
+            hit = b >= edge
+            if np.any(hit):
+                term[idx[hit]] = _CODE[Termination.LIFESPAN_EXHAUSTED]
+                keep = ~hit
+                idx, tp, b, ph, e = idx[keep], tp[keep], b[keep], ph[keep], e[keep]
+                if idx.size == 0:
+                    break
+
+        target: Optional[FloatArray] = None
+        closed = _batch_closed_form_step(p, c, tp, b) if use_closed_form else None
+        if closed is not None:
+            t_next = closed  # NaN lanes: target non-positive, schedule ends
+        else:
+            target = ph + (tp - c) * np.asarray(p.derivative(b), dtype=float)
+            t_next = np.full(idx.size, np.nan)
+            # target >= p(T_{k-1}) would move the boundary backwards (only for
+            # t_prev < c); emit a zero-length period so the UNPRODUCTIVE rule
+            # fires, exactly as the scalar engine does.
+            t_next[target >= ph] = 0.0
+            inside = (target > 0.0) & (target < ph)
+            if np.any(inside):
+                t_next[inside] = np.asarray(p.inverse(target[inside]), dtype=float) - b[inside]
+
+        nonpositive = np.isnan(t_next)
+        unproductive = ~nonpositive & (t_next <= c)
+        if finite_life:
+            overshoot = ~nonpositive & ~unproductive & (b + t_next > lifespan)
+            surviving = ~(nonpositive | unproductive | overshoot)
+            term[idx[overshoot]] = _CODE[Termination.LIFESPAN_EXHAUSTED]
+        else:
+            surviving = ~(nonpositive | unproductive)
+        term[idx[nonpositive]] = _CODE[Termination.TARGET_NONPOSITIVE]
+        term[idx[unproductive]] = _CODE[Termination.UNPRODUCTIVE]
+        if not np.any(surviving):
+            break
+
+        sidx = idx[surviving]
+        tn = t_next[surviving]
+        if target is None:
+            tgt = ph[surviving] + (tp[surviving] - c) * np.asarray(
+                p.derivative(b[surviving]), dtype=float
+            )
+        else:
+            tgt = target[surviving]
+
+        if k == cap:
+            cap *= 2
+            grown = np.full((n, cap), np.nan)
+            grown[:, : periods_buf.shape[1]] = periods_buf
+            periods_buf = grown
+            grown = np.full((n, cap), np.nan)
+            grown[:, : targets_buf.shape[1]] = targets_buf
+            targets_buf = grown
+        periods_buf[sidx, k] = tn
+        targets_buf[sidx, k] = tgt
+        k += 1
+
+        b = b[surviving] + tn
+        tp = tn
+        ph = np.asarray(p(b), dtype=float)
+        contribution = (tn - c) * ph
+        e = e[surviving] + contribution
+        negligible = (contribution < tail_tol * np.maximum(1.0, e)) & (ph < sqrt_tail)
+        if np.any(negligible):
+            term[sidx[negligible]] = _CODE[Termination.TAIL_NEGLIGIBLE]
+            keep = ~negligible
+            idx, tp, b, ph, e = sidx[keep], tp[keep], b[keep], ph[keep], e[keep]
+        else:
+            idx = sidx
+
+    periods = np.concatenate([first[:, None], periods_buf[:, :k]], axis=1)
+    targets = targets_buf[:, :k]
+    num_periods = 1 + np.sum(~np.isnan(periods[:, 1:]), axis=1)
+    return BatchRecurrenceResult(
+        t0s=t0_arr,
+        periods=periods,
+        num_periods=num_periods,
+        termination_codes=term,
+        targets=targets,
+        expected_work=batch_expected_work(periods, p, c),
+    )
+
+
+def batch_expected_work(periods: FloatArray, p: LifeFunction, c: float) -> FloatArray:
+    """Row-wise eq. (2.1) over a NaN-padded ``(n_lanes, max_m)`` period block.
+
+    One vectorized life-function evaluation over the full boundary block; NaN
+    padding contributes nothing (its work term is zeroed).  Matches
+    :meth:`repro.core.schedule.Schedule.expected_work` lane-wise up to
+    summation-order float noise.
+    """
+    if c < 0:
+        raise InvalidScheduleError(f"overhead c must be nonnegative, got {c}")
+    filled = np.where(np.isnan(periods), 0.0, periods)
+    boundaries = np.cumsum(filled, axis=1)
+    survival = np.asarray(p(boundaries), dtype=float)
+    work = np.maximum(0.0, filled - c)
+    # "+ 0.0" normalizes IEEE -0.0 (from p values of -0.0 at the lifespan).
+    return np.sum(work * survival, axis=1) + 0.0

@@ -134,8 +134,8 @@ def optimize_risk_averse(
     so the result is a guideline-flavoured heuristic for the risk-averse
     case — exactly the spirit of the paper's "manageably narrow search space".
     """
+    from .batch_recurrence import generate_schedules_batch
     from .optimizer import optimize_t0_via_recurrence
-    from .recurrence import generate_schedule
     from .t0_bounds import lower_bound_t0
 
     if risk_aversion < 0:
@@ -154,14 +154,22 @@ def optimize_risk_averse(
             return dist.quantile(quantile) + 1e-9 * dist.mean
         return dist.mean - risk_aversion * dist.std
 
+    t0s = np.linspace(lo, hi, grid)
+    t0s = t0s[t0s > c]
+    if t0s.size == 0:
+        raise InvalidScheduleError(
+            f"risk-averse search interval [{lo:.6g}, {hi:.6g}] has no "
+            f"productive t0 > c = {c}"
+        )
+    # One batched recurrence for all candidate schedules; the (cheap,
+    # O(m)-sized) distribution scoring stays per-lane.
+    batch = generate_schedules_batch(p, c, t0s)
     best: tuple[float, Schedule, WorkDistribution] | None = None
-    for t0 in np.linspace(lo, hi, grid):
-        if t0 <= c:
-            continue
-        schedule = generate_schedule(p, c, float(t0)).schedule
+    for i in range(batch.n_lanes):
+        schedule = batch.schedule(i)
         dist = work_distribution(schedule, p, c)
         value = score(dist)
         if best is None or value > best[0]:
             best = (value, schedule, dist)
-    assert best is not None
+    assert best is not None  # t0s nonempty => loop ran at least once
     return best[1], best[2]

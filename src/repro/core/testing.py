@@ -1,0 +1,247 @@
+"""Differential-testing harness for the batch recurrence engine.
+
+The lane-based :func:`~repro.core.batch_recurrence.generate_schedules_batch`
+earns its keep only if it is *provably* the same recurrence as the scalar
+:func:`~repro.core.recurrence.generate_schedule` oracle — the same twin-engine
+contract the simulation layer enforces (``repro.simulation.testing``).  This
+module packages that contract for schedule *search*:
+
+* **structural parity** — for every ``t_0`` lane, the batch engine must
+  produce the identical period count and termination reason as the scalar
+  recurrence (these are discrete; no tolerance);
+* **numeric parity** — periods, boundaries, recurrence targets, and expected
+  work must agree within ULP-scale tolerance (NumPy and libm transcendental
+  kernels may differ in the last bit, so bit-exactness is not demanded the
+  way it is for the RNG-driven simulation engines).
+
+:func:`canonical_recurrence_cases` pins one ``(p, c)`` instance per exported
+life-function family; :func:`recurrence_parity_matrix` sweeps them all.
+Kept import-light (core only — no ``repro.simulation``) so the core layer
+never depends upward.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..types import FloatArray
+from .batch_recurrence import BatchRecurrenceResult, generate_schedules_batch
+from .life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    GompertzLife,
+    LifeFunction,
+    LogLogisticLife,
+    MixtureLife,
+    ParetoLife,
+    PolynomialRisk,
+    TimeScaledLife,
+    UniformRisk,
+    WeibullLife,
+)
+from .recurrence import generate_schedule
+from .t0_bounds import t0_bracket
+
+__all__ = [
+    "RecurrenceParityReport",
+    "canonical_recurrence_cases",
+    "default_t0_grid",
+    "recurrence_parity_check",
+    "assert_recurrence_parity",
+    "recurrence_parity_matrix",
+]
+
+#: Relative tolerance for period/target/expected-work agreement.  The batch
+#: engine evaluates the same formulas through NumPy ufuncs, whose kernels may
+#: round differently from ``math.*`` in the last ulp; after ~10^2 recurrence
+#: steps that compounds to at most ~1e-13 relative.
+DEFAULT_RTOL = 1e-9
+DEFAULT_ATOL = 1e-12
+
+
+def canonical_recurrence_cases() -> list[tuple[str, LifeFunction, float]]:
+    """One ``(label, p, c)`` cell per life-function family.
+
+    Covers the four Section 4 closed-form families (twice each way: the
+    parity matrix runs them with and without closed forms), the extra
+    analytic families, and the composition transforms.  Overheads are chosen
+    so every case terminates in well under a thousand periods.
+    """
+    return [
+        ("uniform", UniformRisk(100.0), 2.0),
+        ("poly2", PolynomialRisk(2, 100.0), 2.0),
+        ("poly3", PolynomialRisk(3, 80.0), 1.5),
+        ("geomdec", GeometricDecreasingLifespan(1.2), 0.5),
+        ("geominc", GeometricIncreasingRisk(30.0), 1.0),
+        ("exponential", WeibullLife(k=1.0, scale=25.0), 1.0),
+        ("weibull_convex", WeibullLife(k=0.8, scale=20.0), 1.0),
+        ("weibull_general", WeibullLife(k=1.8, scale=20.0), 1.0),
+        ("pareto", ParetoLife(d=2.0), 1.0),
+        ("gompertz", GompertzLife(b=0.02, eta=0.15), 1.0),
+        ("loglogistic", LogLogisticLife(alpha=15.0, beta=2.5), 1.0),
+        ("mixture", MixtureLife([UniformRisk(50.0), UniformRisk(150.0)], [0.5, 0.5]), 2.0),
+        ("timescaled", TimeScaledLife(UniformRisk(100.0), 0.5), 1.0),
+        ("conditional", UniformRisk(120.0).conditional(30.0), 2.0),
+    ]
+
+
+def default_t0_grid(p: LifeFunction, c: float, n: int = 17) -> FloatArray:
+    """An ``n``-point ``t_0`` grid spanning (a widened) Theorem 3.2/3.3 bracket.
+
+    Falls back to a median-reclaim-scale window for GENERAL-shape families
+    where Theorem 3.3 gives no upper bound.  Every returned candidate is
+    strictly productive (``t_0 > c``) and, for finite lifespans, strictly
+    inside ``[0, L)``.
+    """
+    try:
+        bracket = t0_bracket(p, c)
+        lo, hi = bracket.lo / 1.5, bracket.hi * 1.5
+    except ValueError:
+        median = float(p.inverse(0.5))
+        lo, hi = 0.25 * median, 1.75 * median
+    lo = max(lo, c * (1 + 1e-6) + 1e-9)
+    if math.isfinite(p.lifespan):
+        hi = min(hi, p.lifespan * (1 - 1e-9))
+    if hi <= lo:
+        hi = lo * (1 + 1e-6)
+    return np.linspace(lo, hi, n)
+
+
+@dataclass(frozen=True)
+class RecurrenceParityReport:
+    """Outcome of one scalar-vs-batch recurrence cross-validation."""
+
+    #: Human-readable case label (family name / grid description).
+    label: str
+    n_lanes: int
+    #: Structural + numeric agreement across every lane.
+    match: bool
+    #: Largest relative period discrepancy across all lanes/steps.
+    max_rel_period_diff: float
+    #: Largest relative recurrence-target discrepancy.
+    max_rel_target_diff: float
+    #: Largest relative expected-work discrepancy.
+    max_rel_work_diff: float
+    #: One line per failing lane (empty when ``match``).
+    mismatches: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostic formatting
+        verdict = "PARITY" if self.match else f"DIVERGED ({len(self.mismatches)} lanes)"
+        return (
+            f"{self.label}: {verdict} over {self.n_lanes} lanes; "
+            f"rel diffs: periods {self.max_rel_period_diff:.3g}, "
+            f"targets {self.max_rel_target_diff:.3g}, "
+            f"E {self.max_rel_work_diff:.3g}"
+        )
+
+
+def _rel_diff(a: FloatArray, b: FloatArray) -> float:
+    """Largest elementwise relative difference (0.0 for empty input)."""
+    if a.size == 0:
+        return 0.0
+    scale = np.maximum(np.maximum(np.abs(a), np.abs(b)), 1.0)
+    return float(np.max(np.abs(a - b) / scale))
+
+
+def recurrence_parity_check(
+    p: LifeFunction,
+    c: float,
+    t0s: Optional[Sequence[float]] = None,
+    use_closed_form: bool = True,
+    max_periods: int = 10_000,
+    tail_tol: float = 1e-12,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+    label: str = "recurrence",
+) -> RecurrenceParityReport:
+    """Run the scalar oracle lane-by-lane against one batch call and compare.
+
+    For each ``t_0`` the scalar :func:`generate_schedule` defines the
+    specification; the batch lane must reproduce its period count and
+    termination reason exactly, and its periods, boundaries, targets, and
+    expected work within ``rtol``/``atol``.
+    """
+    grid = default_t0_grid(p, c) if t0s is None else np.asarray(t0s, dtype=float)
+    batch: BatchRecurrenceResult = generate_schedules_batch(
+        p, c, grid, max_periods=max_periods, tail_tol=tail_tol,
+        use_closed_form=use_closed_form,
+    )
+    mismatches: list[str] = []
+    worst_period = worst_target = worst_work = 0.0
+    for i, t0 in enumerate(grid):
+        scalar = generate_schedule(
+            p, c, float(t0), max_periods=max_periods, tail_tol=tail_tol,
+            use_closed_form=use_closed_form,
+        )
+        lane = batch.outcome(i)
+        if lane.schedule.num_periods != scalar.schedule.num_periods:
+            mismatches.append(
+                f"t0={t0:.6g}: period count {lane.schedule.num_periods} "
+                f"!= scalar {scalar.schedule.num_periods}"
+            )
+            continue
+        if lane.termination is not scalar.termination:
+            mismatches.append(
+                f"t0={t0:.6g}: termination {lane.termination.value} "
+                f"!= scalar {scalar.termination.value}"
+            )
+            continue
+        d_period = _rel_diff(lane.schedule.periods, scalar.schedule.periods)
+        d_bound = _rel_diff(lane.schedule.boundaries, scalar.schedule.boundaries)
+        d_target = _rel_diff(lane.targets, scalar.targets)
+        ew_scalar = scalar.schedule.expected_work(p, c)
+        d_work = _rel_diff(
+            np.array([float(batch.expected_work[i])]), np.array([ew_scalar])
+        )
+        worst_period = max(worst_period, d_period, d_bound)
+        worst_target = max(worst_target, d_target)
+        worst_work = max(worst_work, d_work)
+        tol = rtol + atol  # _rel_diff already normalizes by max(|a|,|b|,1)
+        for name, d in [("periods", d_period), ("boundaries", d_bound),
+                        ("targets", d_target), ("expected work", d_work)]:
+            if d > tol:
+                mismatches.append(f"t0={t0:.6g}: {name} rel diff {d:.3g} > {tol:.3g}")
+    return RecurrenceParityReport(
+        label=label,
+        n_lanes=int(grid.size),
+        match=not mismatches,
+        max_rel_period_diff=worst_period,
+        max_rel_target_diff=worst_target,
+        max_rel_work_diff=worst_work,
+        mismatches=mismatches,
+    )
+
+
+def assert_recurrence_parity(report: RecurrenceParityReport) -> None:
+    """Fail loudly if a parity check found any diverging lane."""
+    assert report.match, (
+        f"recurrence engines diverged on {report.label} "
+        f"({len(report.mismatches)}/{report.n_lanes} lanes):\n  "
+        + "\n  ".join(report.mismatches[:10])
+    )
+
+
+def recurrence_parity_matrix(
+    cases: Optional[Sequence[tuple[str, LifeFunction, float]]] = None,
+    n_grid: int = 17,
+    use_closed_form: bool = True,
+    max_periods: int = 10_000,
+) -> list[RecurrenceParityReport]:
+    """Parity-check every canonical family; returns one report per case."""
+    if cases is None:
+        cases = canonical_recurrence_cases()
+    reports = []
+    for label, p, c in cases:
+        grid = default_t0_grid(p, c, n=n_grid)
+        reports.append(
+            recurrence_parity_check(
+                p, c, grid, use_closed_form=use_closed_form,
+                max_periods=max_periods,
+                label=f"{label} (c={c}, closed_form={use_closed_form})",
+            )
+        )
+    return reports

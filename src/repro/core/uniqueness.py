@@ -25,8 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..types import Bracket, FloatArray
+from .batch_recurrence import generate_schedules_batch
 from .life_functions import LifeFunction
-from .recurrence import generate_schedule
 from .t0_bounds import lower_bound_t0
 
 __all__ = ["T0Landscape", "scan_t0_landscape", "count_expected_work_peaks",
@@ -83,11 +83,10 @@ def scan_t0_landscape(
         if math.isfinite(p.lifespan):
             hi = min(hi, p.lifespan * (1 - 1e-12))
     ts = np.linspace(lo, hi, n_points)
-    es = np.empty(n_points)
-    for i, t0 in enumerate(ts):
-        out = generate_schedule(p, c, float(t0))
-        es[i] = out.schedule.expected_work(p, c)
-    return T0Landscape(t0_values=ts, expected_work=es)
+    # One lane per grid point: the whole landscape costs O(max periods)
+    # vectorized recurrence steps instead of n_points scalar walks.
+    batch = generate_schedules_batch(p, c, ts)
+    return T0Landscape(t0_values=ts, expected_work=batch.expected_work)
 
 
 def count_expected_work_peaks(

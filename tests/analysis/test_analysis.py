@@ -34,6 +34,11 @@ class TestTables:
         assert len(set(len(l) for l in lines[-2:])) == 1
 
 
+def _affine(x, y):
+    """Module-level sweep target so process pools can pickle it."""
+    return [x + 10 * y]
+
+
 class TestSweeps:
     def test_cartesian(self):
         combos = cartesian_sweep(c=[1, 2], L=[10, 20, 30])
@@ -47,6 +52,32 @@ class TestSweeps:
         )
         assert [p.row[0] for p in points] == [4, 5]
         assert points[0].params == {"x": 1, "y": 3}
+
+    def test_parallel_matches_serial(self):
+        params = cartesian_sweep(x=list(range(6)), y=[1, 2])
+        serial = run_sweep(params, _affine)
+        parallel = run_sweep(params, _affine, n_jobs=2)
+        assert [p.row for p in parallel] == [p.row for p in serial]
+        assert [p.params for p in parallel] == [p.params for p in serial]
+
+    def test_explicit_chunksize(self):
+        params = cartesian_sweep(x=list(range(5)), y=[3])
+        points = run_sweep(params, _affine, n_jobs=2, chunksize=2)
+        assert [p.row[0] for p in points] == [30, 31, 32, 33, 34]
+
+    def test_caller_managed_executor(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        params = cartesian_sweep(x=[1, 2, 3], y=[0])
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            points = run_sweep(params, _affine, executor=pool)
+        assert [p.row[0] for p in points] == [1, 2, 3]
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(ValueError):
+            run_sweep([{"x": 1, "y": 1}], _affine, n_jobs=0)
+        with pytest.raises(ValueError):
+            run_sweep([{"x": 1, "y": 1}], _affine, n_jobs=-2)
 
 
 class TestEfficiency:

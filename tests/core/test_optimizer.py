@@ -17,12 +17,23 @@ from repro.core.life_functions import (
     PolynomialRisk,
     UniformRisk,
 )
+from repro.core.life_functions import Shape
 from repro.core.optimizer import (
+    _candidate_period_counts,
     expected_work_gradient,
     optimize_fixed_m,
     optimize_schedule,
     optimize_t0_via_recurrence,
 )
+from repro.exceptions import InvalidScheduleError
+
+
+class _GeneralUniform(UniformRisk):
+    """Uniform risk that *declares* GENERAL shape, forcing the L/c probe."""
+
+    @property
+    def shape(self) -> Shape:
+        return Shape.GENERAL
 
 
 class TestGradient:
@@ -133,3 +144,79 @@ class TestT0Recurrence:
         )
         assert 5.0 / 1.5 <= t0 <= 30.0 * 1.5
         assert ew > 0
+
+    @pytest.mark.parametrize(
+        "p,c",
+        [
+            (UniformRisk(400.0), 2.0),
+            (PolynomialRisk(3, 300.0), 2.0),
+            (GeometricDecreasingLifespan(1.2), 0.5),
+            (GeometricIncreasingRisk(30.0), 1.0),
+        ],
+        ids=["uniform", "poly3", "geomdec", "geominc"],
+    )
+    def test_engines_agree(self, p, c):
+        """Batch and scalar grid sweeps pick the same t0 and schedule."""
+        tb, ob, eb = optimize_t0_via_recurrence(p, c, engine="batch")
+        ts_, os_, es = optimize_t0_via_recurrence(p, c, engine="scalar")
+        assert tb == pytest.approx(ts_, rel=1e-12, abs=1e-12)
+        assert eb == pytest.approx(es, rel=1e-12)
+        assert ob.schedule.num_periods == os_.schedule.num_periods
+        assert ob.termination is os_.termination
+        np.testing.assert_allclose(ob.schedule.periods, os_.schedule.periods,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            optimize_t0_via_recurrence(UniformRisk(100.0), 1.0, engine="warp")
+
+    def test_winner_not_recomputed(self, monkeypatch):
+        """The returned t0's schedule comes from the cache, not a re-walk."""
+        import repro.core.optimizer as opt
+
+        calls: list[float] = []
+        original = opt.generate_schedule
+
+        def counting(p, c, t0, **kw):
+            calls.append(t0)
+            return original(p, c, t0, **kw)
+
+        monkeypatch.setattr(opt, "generate_schedule", counting)
+        t0, outcome, ew = optimize_t0_via_recurrence(UniformRisk(200.0), 2.0)
+        # Every scalar walk during refinement evaluated a distinct t0: the
+        # final (t0, outcome, ew) came from the cache, never a repeat call.
+        assert len(calls) == len(set(calls))
+        assert ew == pytest.approx(outcome.schedule.expected_work(UniformRisk(200.0), 2.0))
+
+    def test_no_valid_schedule_raises_invalid(self, monkeypatch):
+        """A grid with no valid lane raises InvalidScheduleError, not assert."""
+        import repro.core.optimizer as opt
+
+        def explode(p, c, t0, **kw):
+            raise InvalidScheduleError("forced failure")
+
+        monkeypatch.setattr(opt, "generate_schedule", explode)
+        with pytest.raises(InvalidScheduleError):
+            optimize_t0_via_recurrence(UniformRisk(100.0), 1.0, engine="scalar")
+
+
+class TestCandidatePeriodCounts:
+    def test_small_lifespan_overhead_ratio_still_sweeps(self):
+        """L barely above c must still yield a non-degenerate count sweep."""
+        counts = _candidate_period_counts(_GeneralUniform(3.0), 2.0, None)
+        assert counts == [1, 2]
+
+    def test_counts_sorted_unique_and_reach_m_max(self):
+        counts = _candidate_period_counts(_GeneralUniform(100.0), 2.0, None)
+        assert counts == sorted(set(counts))
+        assert counts[-1] == 50  # L/c
+        assert counts[0] == 1
+
+    def test_explicit_m_max_respected(self):
+        counts = _candidate_period_counts(UniformRisk(100.0), 2.0, 7)
+        assert counts == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_geometric_probe_dedupes(self):
+        counts = _candidate_period_counts(_GeneralUniform(512.0), 2.0, None)
+        assert len(counts) == len(set(counts))
+        assert all(1 <= m <= 256 for m in counts)

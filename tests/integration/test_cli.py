@@ -87,6 +87,39 @@ class TestParsing:
         assert status == 0
         assert "99% CI" in capsys.readouterr().out
 
+    @pytest.mark.parametrize("engine", ["batch", "scalar"])
+    def test_t0opt_engines(self, capsys, engine):
+        status = main(["t0opt", "--family", "uniform", "--lifespan", "400",
+                       "--c", "2", "--engine", engine])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert f"engine        : {engine}" in out
+        for label in ("t0 chosen", "periods", "termination", "expected work"):
+            assert label in out
+
+    def test_t0opt_engines_identical_output(self, capsys):
+        """Both search engines print the same t0/periods/E."""
+        main(["t0opt", "--family", "geominc", "--lifespan", "30", "--c", "1",
+              "--engine", "batch"])
+        batch = capsys.readouterr().out
+        main(["t0opt", "--family", "geominc", "--lifespan", "30", "--c", "1",
+              "--engine", "scalar"])
+        scalar = capsys.readouterr().out
+        pick = lambda txt: [l for l in txt.splitlines()
+                            if l.startswith(("t0 chosen", "periods", "expected"))]
+        assert pick(batch) == pick(scalar)
+
+    def test_t0opt_grid_flag(self, capsys):
+        status = main(["t0opt", "--family", "geomdec", "--a", "1.2",
+                       "--c", "0.5", "--grid", "33"])
+        assert status == 0
+        assert "grid = 33" in capsys.readouterr().out
+
+    def test_t0opt_bad_grid(self):
+        with pytest.raises(SystemExit):
+            main(["t0opt", "--family", "uniform", "--lifespan", "100",
+                  "--c", "2", "--grid", "1"])
+
 
 class TestLifeFunctionFactory:
     def test_all_families(self):
