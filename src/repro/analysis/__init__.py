@@ -9,6 +9,19 @@ from .robustness import (
 )
 from .sweeps import SweepPoint, cartesian_sweep, run_sweep
 from .tables import format_table, print_table
+from .tables_precompute import (
+    TABLE_FAMILIES,
+    TABLE_SCHEMA_VERSION,
+    GuidelineTable,
+    PlanAnswer,
+    TableServer,
+    default_grids,
+    load_table,
+    make_family_life,
+    precompute_table,
+    save_table,
+    table_path,
+)
 
 __all__ = [
     "EfficiencyReport",
@@ -23,4 +36,15 @@ __all__ = [
     "run_sweep",
     "format_table",
     "print_table",
+    "TABLE_FAMILIES",
+    "TABLE_SCHEMA_VERSION",
+    "GuidelineTable",
+    "PlanAnswer",
+    "TableServer",
+    "default_grids",
+    "load_table",
+    "make_family_life",
+    "precompute_table",
+    "save_table",
+    "table_path",
 ]

@@ -19,6 +19,8 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
+from ..exceptions import SweepError
+
 __all__ = ["SweepPoint", "cartesian_sweep", "run_sweep"]
 
 
@@ -42,13 +44,26 @@ def cartesian_sweep(**axes: Iterable[Any]) -> list[dict[str, Any]]:
 
 
 class _SweepCall:
-    """Picklable ``params -> row`` adapter for ``Executor.map``."""
+    """Picklable ``params -> row`` adapter for ``Executor.map``.
+
+    Worker exceptions are re-raised as :class:`~repro.exceptions.SweepError`
+    naming the offending parameter point — ``executor.map`` otherwise
+    propagates a bare exception with no hint of *which* of hundreds of sweep
+    points failed.
+    """
 
     def __init__(self, fn: Callable[..., Sequence[Any]]) -> None:
         self.fn = fn
 
     def __call__(self, params: Mapping[str, Any]) -> Sequence[Any]:
-        return self.fn(**params)
+        try:
+            return self.fn(**params)
+        except SweepError:
+            raise  # already annotated (e.g. a nested sweep)
+        except Exception as exc:
+            raise SweepError(
+                f"sweep point {dict(params)!r} failed: {exc!r}", params=dict(params)
+            ) from exc
 
 
 def run_sweep(
@@ -70,12 +85,23 @@ def run_sweep(
         A caller-managed :class:`concurrent.futures.Executor` to submit to;
         the caller keeps responsibility for shutting it down.
     chunksize:
-        Points per worker task (amortizes IPC for cheap ``fn``).  Defaults to
+        Points per worker task (amortizes IPC for cheap ``fn``).  Must be
+        ``>= 1`` when given.  Defaults to
         ``ceil(len(params_list) / (4 * workers))`` so each worker sees ~4
         chunks — coarse enough to amortize pickling, fine enough to balance.
+
+    Raises
+    ------
+    SweepError
+        When a worker fails; the message and ``.params`` attribute identify
+        the offending parameter point, and ``__cause__`` holds the original
+        exception (serial runs; process pools embed its repr).
     """
+    if chunksize is not None and chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     if executor is None and (n_jobs is None or n_jobs == 1):
-        return [SweepPoint(dict(params), fn(**params)) for params in params_list]
+        call = _SweepCall(fn)
+        return [SweepPoint(dict(params), call(params)) for params in params_list]
 
     if executor is not None:
         return _run_on_executor(params_list, fn, executor, chunksize, workers=None)

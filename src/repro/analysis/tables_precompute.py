@@ -1,0 +1,508 @@
+"""Precomputed guideline tables: sweep once, serve schedules forever.
+
+For each Section 4 closed-form family the optimal initial period is a smooth,
+monotone function ``t0*(c, θ)`` of the overhead and the family parameter
+(``L`` for the finite-lifespan families, ``a`` for the geometric-decreasing
+one).  This module sweeps a ``(c, θ)`` grid **once** — through
+:func:`repro.analysis.sweeps.run_sweep`'s process-pool fan-out, with every
+grid point riding the plan cache — persists the resulting ``t0*`` / ``E*``
+tables, and then answers arbitrary off-grid queries by
+
+1. bilinear (monotone) interpolation of ``t0*`` inside the containing cell,
+2. one cheap batch-recurrence regeneration: a bounded 1-D polish of ``t0``
+   over the cell's corner bracket (each evaluation is a single Corollary 3.1
+   recurrence walk), then the final :func:`generate_schedule` call;
+3. falling back to the full optimizer only outside the table's bounds.
+
+The served schedule is exact for its ``t0`` (the recurrence is
+deterministic), and the polish step keeps the expected work within ~1e-9
+relative of the full :func:`~repro.core.optimizer.optimize_t0_via_recurrence`
+search — see ``benchmarks/bench_plan_cache.py`` for the measured numbers.
+
+Tables live as ``.npz`` files under ``<cache_dir>/tables/v<schema>/``;
+:func:`load_table` is corruption-tolerant (a truncated or garbage file reads
+as "no table" and queries fall back to the optimizer).
+"""
+
+from __future__ import annotations
+
+import math
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from ..core.life_functions import (
+    GeometricDecreasingLifespan,
+    GeometricIncreasingRisk,
+    LifeFunction,
+    PolynomialRisk,
+    UniformRisk,
+)
+from ..core.optimizer import optimize_t0_via_recurrence
+from ..core.plancache import PlanCache, default_plan_cache
+from ..core.recurrence import RecurrenceOutcome, generate_schedule
+from ..core.schedule import Schedule
+from ..exceptions import CycleStealingError, PlanCacheError
+from ..types import FloatArray
+from .sweeps import run_sweep
+
+__all__ = [
+    "TABLE_SCHEMA_VERSION",
+    "TABLE_FAMILIES",
+    "GuidelineTable",
+    "PlanAnswer",
+    "TableServer",
+    "make_family_life",
+    "default_grids",
+    "precompute_table",
+    "table_path",
+    "save_table",
+    "load_table",
+]
+
+#: Version of the on-disk table schema (bump on incompatible layout changes).
+TABLE_SCHEMA_VERSION = 1
+
+#: family name -> (parameter swept by the table, fixed extra parameters).
+TABLE_FAMILIES: dict[str, tuple[str, dict[str, float]]] = {
+    "uniform": ("L", {}),
+    "poly": ("L", {"d": 3.0}),
+    "geomdec": ("a", {}),
+    "geominc": ("L", {}),
+}
+
+
+def make_family_life(
+    family: str, param_value: float, fixed: Optional[Mapping[str, float]] = None
+) -> LifeFunction:
+    """Instantiate a Section 4 family from its table coordinates."""
+    fixed = dict(fixed or ())
+    if family == "uniform":
+        return UniformRisk(param_value)
+    if family == "poly":
+        return PolynomialRisk(int(fixed.get("d", 3.0)), param_value)
+    if family == "geomdec":
+        return GeometricDecreasingLifespan(param_value)
+    if family == "geominc":
+        return GeometricIncreasingRisk(param_value)
+    raise PlanCacheError(f"unknown table family {family!r}; expected one of "
+                         f"{sorted(TABLE_FAMILIES)}")
+
+
+def default_grids(family: str) -> tuple[FloatArray, FloatArray]:
+    """The default ``(c_grid, param_grid)`` for one family's table.
+
+    Log-spaced: ``t0*`` varies like a power of both coordinates for every
+    Section 4 family, so geometric spacing equalizes the relative
+    interpolation error across the table.
+    """
+    if family in ("uniform", "poly"):
+        return np.geomspace(0.5, 8.0, 17), np.geomspace(50.0, 1600.0, 17)
+    if family == "geomdec":
+        return np.geomspace(0.1, 1.5, 17), np.geomspace(1.02, 2.5, 17)
+    if family == "geominc":
+        return np.geomspace(0.25, 4.0, 17), np.geomspace(10.0, 120.0, 17)
+    raise PlanCacheError(f"unknown table family {family!r}")
+
+
+@dataclass(frozen=True)
+class GuidelineTable:
+    """A precomputed ``t0*`` / ``E*`` grid for one closed-form family."""
+
+    family: str
+    param_name: str
+    fixed: tuple[tuple[str, float], ...]
+    c_grid: FloatArray
+    param_grid: FloatArray
+    #: Optimal initial periods, shape ``(len(c_grid), len(param_grid))``.
+    t0: FloatArray
+    #: Expected work at the optimum, same shape.
+    expected_work: FloatArray
+    #: Periods in the generated schedule, same shape.
+    num_periods: np.ndarray
+    #: t0-search resolution / bracket widening the sweep used.
+    search_grid: int = 129
+    search_widen: float = 1.5
+    schema_version: int = TABLE_SCHEMA_VERSION
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (int(self.c_grid.size), int(self.param_grid.size))
+
+    def contains(self, c: float, param_value: float) -> bool:
+        """Whether ``(c, θ)`` lies inside the table's bounds."""
+        return bool(
+            self.c_grid[0] <= c <= self.c_grid[-1]
+            and self.param_grid[0] <= param_value <= self.param_grid[-1]
+        )
+
+    def cell(self, c: float, param_value: float) -> tuple[int, int]:
+        """Indices ``(i, j)`` of the containing cell's lower-left corner."""
+        i = int(np.clip(np.searchsorted(self.c_grid, c) - 1, 0, self.c_grid.size - 2))
+        j = int(
+            np.clip(np.searchsorted(self.param_grid, param_value) - 1,
+                    0, self.param_grid.size - 2)
+        )
+        return i, j
+
+    def interpolate_t0(self, c: float, param_value: float) -> tuple[float, float, float]:
+        """Bilinear ``t0`` estimate plus the cell's corner bracket ``(lo, hi)``.
+
+        Bilinear interpolation of a grid that is monotone in each coordinate
+        stays inside the corner envelope, so ``[min corner, max corner]`` is
+        a sound (and tight) polish bracket.  Raises
+        :class:`~repro.exceptions.CycleStealingError` on cells with missing
+        (NaN) corners — callers fall back to the full optimizer.
+        """
+        i, j = self.cell(c, param_value)
+        corners = self.t0[i : i + 2, j : j + 2]
+        if not np.all(np.isfinite(corners)):
+            raise CycleStealingError(
+                f"table cell ({i}, {j}) for family {self.family!r} has missing corners"
+            )
+        wc = (c - self.c_grid[i]) / (self.c_grid[i + 1] - self.c_grid[i])
+        wp = (param_value - self.param_grid[j]) / (
+            self.param_grid[j + 1] - self.param_grid[j]
+        )
+        top = corners[0, 0] * (1 - wp) + corners[0, 1] * wp
+        bot = corners[1, 0] * (1 - wp) + corners[1, 1] * wp
+        t0 = float(top * (1 - wc) + bot * wc)
+        return t0, float(np.min(corners)), float(np.max(corners))
+
+
+@dataclass(frozen=True)
+class PlanAnswer:
+    """A served schedule plus provenance (which tier answered)."""
+
+    family: str
+    c: float
+    param_value: float
+    t0: float
+    schedule: Schedule
+    expected_work: float
+    #: ``"table"`` (interpolated + polished) or ``"optimizer"`` (fallback).
+    source: str
+    termination: str = ""
+
+
+# ----------------------------------------------------------------------
+# Sweep (precomputation)
+# ----------------------------------------------------------------------
+
+
+def _table_point(
+    family: str,
+    c: float,
+    param_value: float,
+    fixed: Optional[dict] = None,
+    search_grid: int = 129,
+    search_widen: float = 1.5,
+    cache_dir: Optional[str] = None,
+) -> list:
+    """One grid point: module-level so process pools can pickle it.
+
+    Rides the process-default plan cache (sharing ``cache_dir``'s disk tier
+    across workers and re-runs), so re-warming a table is nearly free.
+    """
+    cache = default_plan_cache(cache_dir) if cache_dir else None
+    p = make_family_life(family, param_value, fixed)
+    try:
+        t0, outcome, ew = optimize_t0_via_recurrence(
+            p, c, grid=search_grid, widen=search_widen, cache=cache
+        )
+    except CycleStealingError:
+        return [math.nan, math.nan, 0]
+    return [t0, ew, outcome.schedule.num_periods]
+
+
+def precompute_table(
+    family: str,
+    c_grid: Optional[FloatArray] = None,
+    param_grid: Optional[FloatArray] = None,
+    fixed: Optional[Mapping[str, float]] = None,
+    search_grid: int = 129,
+    search_widen: float = 1.5,
+    n_jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> GuidelineTable:
+    """Sweep the ``(c, θ)`` grid once and assemble the guideline table.
+
+    ``n_jobs`` fans the sweep out over a process pool (see
+    :func:`~repro.analysis.sweeps.run_sweep`); each point's ``t_0`` search
+    rides the plan cache under ``cache_dir`` when one is given.
+    """
+    param_name, default_fixed = TABLE_FAMILIES[family]
+    fixed = dict(fixed if fixed is not None else default_fixed)
+    if c_grid is None or param_grid is None:
+        default_c, default_param = default_grids(family)
+        c_grid = default_c if c_grid is None else c_grid
+        param_grid = default_param if param_grid is None else param_grid
+    c_grid = np.asarray(c_grid, dtype=float)
+    param_grid = np.asarray(param_grid, dtype=float)
+    if c_grid.size < 2 or param_grid.size < 2:
+        raise PlanCacheError("table grids need at least 2 points per axis")
+    if np.any(np.diff(c_grid) <= 0) or np.any(np.diff(param_grid) <= 0):
+        raise PlanCacheError("table grids must be strictly increasing")
+
+    params_list = [
+        {
+            "family": family,
+            "c": float(c),
+            "param_value": float(v),
+            "fixed": fixed,
+            "search_grid": search_grid,
+            "search_widen": search_widen,
+            "cache_dir": str(cache_dir) if cache_dir is not None else None,
+        }
+        for c in c_grid
+        for v in param_grid
+    ]
+    points = run_sweep(params_list, _table_point, n_jobs=n_jobs)
+    rows = np.asarray([pt.row for pt in points], dtype=float)
+    shape = (c_grid.size, param_grid.size)
+    return GuidelineTable(
+        family=family,
+        param_name=param_name,
+        fixed=tuple(sorted((k, float(v)) for k, v in fixed.items())),
+        c_grid=c_grid,
+        param_grid=param_grid,
+        t0=rows[:, 0].reshape(shape),
+        expected_work=rows[:, 1].reshape(shape),
+        num_periods=rows[:, 2].astype(int).reshape(shape),
+        search_grid=search_grid,
+        search_widen=search_widen,
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistence (npz, corruption-tolerant)
+# ----------------------------------------------------------------------
+
+
+def table_path(cache_dir: Union[str, Path], family: str) -> Path:
+    """The conventional location of one family's table."""
+    return Path(cache_dir) / "tables" / f"v{TABLE_SCHEMA_VERSION}" / f"{family}.npz"
+
+
+def save_table(table: GuidelineTable, path: Union[str, Path]) -> Path:
+    """Persist a table atomically (temp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".npz.tmp")
+    fixed_names = [k for k, _ in table.fixed]
+    fixed_values = np.asarray([v for _, v in table.fixed], dtype=float)
+    with open(tmp, "wb") as fh:
+        np.savez(
+            fh,
+            schema_version=np.asarray([table.schema_version]),
+            family=np.asarray([table.family]),
+            param_name=np.asarray([table.param_name]),
+            fixed_names=np.asarray(fixed_names, dtype="U32"),
+            fixed_values=fixed_values,
+            c_grid=table.c_grid,
+            param_grid=table.param_grid,
+            t0=table.t0,
+            expected_work=table.expected_work,
+            num_periods=table.num_periods,
+            search=np.asarray([float(table.search_grid), table.search_widen]),
+        )
+    tmp.replace(path)
+    return path
+
+
+def load_table(path: Union[str, Path]) -> Optional[GuidelineTable]:
+    """Load a table; ``None`` for missing, corrupt, or wrong-schema files."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if int(data["schema_version"][0]) != TABLE_SCHEMA_VERSION:
+                return None
+            fixed = tuple(
+                (str(k), float(v))
+                for k, v in zip(data["fixed_names"], data["fixed_values"])
+            )
+            table = GuidelineTable(
+                family=str(data["family"][0]),
+                param_name=str(data["param_name"][0]),
+                fixed=fixed,
+                c_grid=np.asarray(data["c_grid"], dtype=float),
+                param_grid=np.asarray(data["param_grid"], dtype=float),
+                t0=np.asarray(data["t0"], dtype=float),
+                expected_work=np.asarray(data["expected_work"], dtype=float),
+                num_periods=np.asarray(data["num_periods"], dtype=int),
+                search_grid=int(data["search"][0]),
+                search_widen=float(data["search"][1]),
+            )
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        return None
+    if table.t0.shape != table.shape or table.expected_work.shape != table.shape:
+        return None
+    return table
+
+
+# ----------------------------------------------------------------------
+# Serving
+# ----------------------------------------------------------------------
+
+
+class TableServer:
+    """Serve near-optimal schedules from precomputed tables in ~O(m) time.
+
+    Holds one :class:`GuidelineTable` per family (loaded lazily from
+    ``cache_dir``), answers :meth:`query` by interpolate + polish, and falls
+    back to the full optimizer — through the shared plan cache — outside
+    table bounds.  Query latency and source mix are tracked in ``counters``.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        cache: Optional[PlanCache] = None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.cache = cache
+        self._tables: dict[str, Optional[GuidelineTable]] = {}
+        self.counters: dict[str, Any] = {"table": 0, "optimizer": 0, "seconds": 0.0}
+
+    def add_table(self, table: GuidelineTable) -> None:
+        """Register an in-memory table (used by tests and warm pipelines)."""
+        self._tables[table.family] = table
+
+    def table(self, family: str) -> Optional[GuidelineTable]:
+        """The family's table, loading from ``cache_dir`` on first use."""
+        if family not in self._tables:
+            loaded = None
+            if self.cache_dir is not None:
+                loaded = load_table(table_path(self.cache_dir, family))
+            self._tables[family] = loaded
+        return self._tables[family]
+
+    def query(
+        self,
+        family: str,
+        c: float,
+        param_value: float,
+        polish: bool = True,
+    ) -> PlanAnswer:
+        """A near-optimal schedule for family ``(c, θ)``, served fast.
+
+        Inside table bounds: bilinear ``t0`` interpolation, an optional
+        bounded polish over the cell's corner bracket (recurrence-walk
+        evaluations only), and one final schedule regeneration.  Outside (or
+        with no table): the full ``t_0`` optimizer, riding ``self.cache``.
+        """
+        import time
+
+        start = time.perf_counter()
+        fixed = dict(TABLE_FAMILIES[family][1])
+        table = self.table(family)
+        if table is not None:
+            fixed = dict(table.fixed)
+        p = make_family_life(family, param_value, fixed)
+        answer: Optional[PlanAnswer] = None
+        if table is not None and table.contains(c, param_value):
+            try:
+                answer = self._serve_from_table(table, p, family, c, param_value, polish)
+            except CycleStealingError:
+                answer = None  # NaN cell or degenerate bracket: fall back
+        if answer is None:
+            t0, outcome, ew = optimize_t0_via_recurrence(p, c, cache=self.cache)
+            answer = PlanAnswer(
+                family=family, c=c, param_value=param_value, t0=t0,
+                schedule=outcome.schedule, expected_work=ew,
+                source="optimizer", termination=outcome.termination.value,
+            )
+        self.counters[answer.source] += 1
+        self.counters["seconds"] += time.perf_counter() - start
+        return answer
+
+    def _serve_from_table(
+        self,
+        table: GuidelineTable,
+        p: LifeFunction,
+        family: str,
+        c: float,
+        param_value: float,
+        polish: bool,
+    ) -> PlanAnswer:
+        t0_est, lo, hi = table.interpolate_t0(c, param_value)
+        # Pad the corner bracket: the true t0*(c, θ) is monotone but the
+        # corners bound it only up to grid curvature.
+        pad = 0.08 * max(hi - lo, 0.0) + 1e-6 * t0_est
+        lo = max(lo - pad, c * (1 + 1e-9))
+        hi = hi + pad
+        if math.isfinite(p.lifespan):
+            hi = min(hi, p.lifespan * (1 - 1e-12))
+        t0 = min(max(t0_est, lo), hi)
+        if polish and hi > lo:
+            evals: dict[float, tuple[Optional[RecurrenceOutcome], float]] = {}
+
+            def scored(t: float) -> tuple[Optional[RecurrenceOutcome], float]:
+                if t not in evals:
+                    try:
+                        out = generate_schedule(p, c, t)
+                    except CycleStealingError:
+                        evals[t] = (None, -math.inf)
+                    else:
+                        evals[t] = (out, out.schedule.expected_work(p, c))
+                return evals[t]
+
+            res = minimize_scalar(
+                lambda t: -scored(float(t))[1],
+                bounds=(lo, hi),
+                method="bounded",
+                # E is locally quadratic in t0: 1e-8 relative xatol keeps the
+                # served E within ~1e-15 relative of the true optimum.
+                options={"xatol": 1e-8 * max(1.0, t0_est)},
+            )
+            if -float(res.fun) >= scored(t0)[1]:
+                t0 = float(res.x)
+            outcome, ew = scored(t0)
+        else:
+            outcome = generate_schedule(p, c, t0)
+            ew = outcome.schedule.expected_work(p, c)
+        if outcome is None:
+            raise CycleStealingError(
+                f"table-served t0 bracket [{lo:.6g}, {hi:.6g}] produced no schedule"
+            )
+        return PlanAnswer(
+            family=family, c=c, param_value=param_value, t0=t0,
+            schedule=outcome.schedule, expected_work=ew,
+            source="table", termination=outcome.termination.value,
+        )
+
+    def warm(
+        self,
+        families: Optional[list[str]] = None,
+        n_jobs: Optional[int] = None,
+        search_grid: int = 129,
+        search_widen: float = 1.5,
+        grids: Optional[Mapping[str, tuple[FloatArray, FloatArray]]] = None,
+    ) -> dict[str, GuidelineTable]:
+        """Precompute (and persist, when ``cache_dir`` is set) tables.
+
+        Returns the freshly built tables by family name.
+        """
+        built: dict[str, GuidelineTable] = {}
+        for family in families or list(TABLE_FAMILIES):
+            c_grid = param_grid = None
+            if grids and family in grids:
+                c_grid, param_grid = grids[family]
+            table = precompute_table(
+                family,
+                c_grid=c_grid,
+                param_grid=param_grid,
+                search_grid=search_grid,
+                search_widen=search_widen,
+                n_jobs=n_jobs,
+                cache_dir=self.cache_dir,
+            )
+            if self.cache_dir is not None:
+                save_table(table, table_path(self.cache_dir, family))
+            self.add_table(table)
+            built[family] = table
+        return built

@@ -19,6 +19,15 @@ Commands
     Optimize ``t_0`` over the Corollary 3.1 recurrence family on a chosen
     search engine (``--engine batch|scalar``) and grid resolution, printing
     the chosen ``t_0``, period count, and expected work.
+``plancache``
+    Manage the schedule plan cache and precomputed guideline tables:
+    ``warm`` sweeps the per-family ``(c, parameter)`` grids and persists
+    ``t0*``/``E*`` tables, ``query`` serves a schedule from the tables
+    (optimizer fallback outside bounds), ``stats`` reports cache contents,
+    ``clear`` empties the disk tier.
+
+``compare`` and ``t0opt`` accept ``--cache-dir`` to ride the plan cache:
+repeated invocations for the same family instance are answered from disk.
 
 Examples
 --------
@@ -30,6 +39,9 @@ Examples
     python -m repro fit durations.txt --c 2.0
     python -m repro mc --family uniform --lifespan 480 --c 3 --n 200000
     python -m repro t0opt --family uniform --lifespan 480 --c 3 --grid 257
+    python -m repro plancache warm --family uniform --grid-points 9
+    python -m repro plancache query --family uniform --c 2.4 --value 333
+    python -m repro plancache stats
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ import numpy as np
 
 from . import core
 from .analysis.tables import format_table
+from .analysis.tables_precompute import TABLE_FAMILIES
 
 __all__ = ["main", "build_parser", "make_life_function"]
 
@@ -98,6 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="guideline vs greedy vs optimal")
     _add_family_args(p_cmp)
+    p_cmp.add_argument("--cache-dir", default=None,
+                       help="plan-cache directory; repeat runs hit the cache")
 
     p_fit = sub.add_parser("fit", help="fit a life function to durations and schedule")
     p_fit.add_argument("path", help="file of absence durations, one per line ('-' = stdin)")
@@ -122,6 +137,43 @@ def build_parser() -> argparse.ArgumentParser:
                       help="t0 grid resolution over the bracket (default 129)")
     p_t0.add_argument("--widen", type=float, default=1.5,
                       help="bracket widening factor (default 1.5)")
+    p_t0.add_argument("--cache-dir", default=None,
+                      help="plan-cache directory; repeat runs hit the cache")
+
+    p_pc = sub.add_parser("plancache",
+                          help="manage the plan cache and precomputed tables")
+    pc_sub = p_pc.add_subparsers(dest="action", required=True)
+
+    pc_warm = pc_sub.add_parser("warm", help="precompute per-family guideline tables")
+    pc_warm.add_argument("--family", action="append", default=None,
+                         choices=sorted(TABLE_FAMILIES),
+                         help="family to warm (repeatable; default: all)")
+    pc_warm.add_argument("--cache-dir", default=None,
+                         help="cache directory (default: $REPRO_CACHE_DIR or XDG)")
+    pc_warm.add_argument("--grid-points", type=int, default=17,
+                         help="points per table axis (default 17)")
+    pc_warm.add_argument("--search-grid", type=int, default=129,
+                         help="t0 search resolution per grid point (default 129)")
+    pc_warm.add_argument("--n-jobs", type=int, default=None,
+                         help="process-pool workers for the sweep (default serial)")
+
+    pc_query = pc_sub.add_parser("query", help="serve a schedule from the tables")
+    pc_query.add_argument("--family", required=True, choices=sorted(TABLE_FAMILIES))
+    pc_query.add_argument("--c", type=float, required=True,
+                          help="communication overhead per period")
+    pc_query.add_argument("--value", type=float, required=True,
+                          help="family parameter (L for uniform/poly/geominc, a for geomdec)")
+    pc_query.add_argument("--cache-dir", default=None)
+    pc_query.add_argument("--no-polish", action="store_true",
+                          help="skip the 1-D polish of the interpolated t0")
+
+    pc_stats = pc_sub.add_parser("stats", help="report cache and table contents")
+    pc_stats.add_argument("--cache-dir", default=None)
+
+    pc_clear = pc_sub.add_parser("clear", help="empty the disk cache tier")
+    pc_clear.add_argument("--cache-dir", default=None)
+    pc_clear.add_argument("--tables", action="store_true",
+                          help="also delete the precomputed tables")
     return parser
 
 
@@ -140,20 +192,33 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(args: argparse.Namespace) -> Optional[core.PlanCache]:
+    """A disk-backed plan cache when ``--cache-dir`` was given."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    return core.default_plan_cache(cache_dir)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     p = make_life_function(args)
     c = args.c
+    cache = _make_cache(args)
     rows = []
-    guided = core.guideline_schedule(p, c)
+    guided = core.guideline_schedule(p, c, cache=cache)
     rows.append(["guideline", guided.schedule.num_periods, guided.expected_work])
     greedy = core.greedy_schedule(p, c)
     rows.append(["greedy", greedy.num_periods, greedy.expected_work(p, c)])
     prog = core.progressive_schedule(p, c)
     rows.append(["progressive", prog.num_periods, prog.expected_work(p, c)])
-    optimal = core.optimize_schedule(p, c)
+    optimal = core.optimize_schedule(p, c, cache=cache)
     rows.append(["optimal (NLP)", optimal.num_periods, optimal.expected_work])
     print(format_table(["strategy", "periods", "expected work"], rows,
                        title=f"{p!r}, c = {c}"))
+    if cache is not None:
+        s = cache.stats
+        print(f"plan cache    : {s.hits} memory + {s.disk_hits} disk hits, "
+              f"{s.misses} misses")
     return 0
 
 
@@ -206,7 +271,8 @@ def _cmd_t0opt(args: argparse.Namespace) -> int:
         raise SystemExit(f"--grid must be >= 2, got {args.grid}")
     p = make_life_function(args)
     t0, outcome, ew = core.optimize_t0_via_recurrence(
-        p, args.c, grid=args.grid, widen=args.widen, engine=args.engine
+        p, args.c, grid=args.grid, widen=args.widen, engine=args.engine,
+        cache=_make_cache(args),
     )
     print(f"life function : {p!r}")
     print(f"engine        : {args.engine}  (grid = {args.grid}, widen = {args.widen})")
@@ -215,6 +281,89 @@ def _cmd_t0opt(args: argparse.Namespace) -> int:
     print(f"termination   : {outcome.termination.value}")
     print(f"expected work : {ew:.6g}")
     return 0
+
+
+def _cmd_plancache(args: argparse.Namespace) -> int:
+    import shutil
+    import time
+
+    from .analysis.tables_precompute import (
+        TableServer,
+        default_grids,
+        load_table,
+        table_path,
+    )
+
+    cache_dir = args.cache_dir or str(core.default_cache_dir())
+
+    if args.action == "warm":
+        families = args.family or sorted(TABLE_FAMILIES)
+        if args.grid_points < 2:
+            raise SystemExit(f"--grid-points must be >= 2, got {args.grid_points}")
+        grids = {
+            fam: tuple(np.geomspace(g[0], g[-1], args.grid_points)
+                       for g in default_grids(fam))
+            for fam in families
+        }
+        server = TableServer(cache_dir=cache_dir)
+        start = time.perf_counter()
+        built = server.warm(families=families, n_jobs=args.n_jobs,
+                            search_grid=args.search_grid, grids=grids)
+        elapsed = time.perf_counter() - start
+        for fam, table in built.items():
+            n_c, n_p = table.shape
+            print(f"warmed {fam:8s}: {n_c}x{n_p} grid "
+                  f"(c in [{table.c_grid[0]:.3g}, {table.c_grid[-1]:.3g}], "
+                  f"{table.param_name} in "
+                  f"[{table.param_grid[0]:.3g}, {table.param_grid[-1]:.3g}]) "
+                  f"-> {table_path(cache_dir, fam)}")
+        print(f"{len(built)} table(s) in {elapsed:.2f}s, cache dir {cache_dir}")
+        return 0
+
+    if args.action == "query":
+        server = TableServer(cache_dir=cache_dir,
+                             cache=core.default_plan_cache(cache_dir))
+        answer = server.query(args.family, args.c, args.value,
+                              polish=not args.no_polish)
+        print(f"family        : {args.family} "
+              f"({TABLE_FAMILIES[args.family][0]} = {args.value}, c = {args.c})")
+        print(f"source        : {answer.source}")
+        print(f"t0            : {answer.t0:.6g}")
+        print(f"periods       : {answer.schedule.num_periods}")
+        print(f"expected work : {answer.expected_work:.6g}")
+        print(f"latency       : {server.counters['seconds'] * 1e3:.2f} ms")
+        return 0
+
+    if args.action == "stats":
+        cache = core.PlanCache(cache_dir=cache_dir)
+        print(f"cache dir     : {cache_dir}")
+        print(f"schema        : v{core.CACHE_SCHEMA_VERSION}")
+        print(f"disk entries  : {cache.disk_entries()}")
+        for fam in sorted(TABLE_FAMILIES):
+            path = table_path(cache_dir, fam)
+            table = load_table(path)
+            if table is None:
+                status = "missing" if not path.exists() else "corrupt/incompatible"
+                print(f"table {fam:8s}: {status}")
+            else:
+                n_c, n_p = table.shape
+                print(f"table {fam:8s}: {n_c}x{n_p} grid at {path}")
+        return 0
+
+    if args.action == "clear":
+        cache = core.PlanCache(cache_dir=cache_dir)
+        n_entries = cache.disk_entries()
+        cache.clear(memory=True, disk=True)
+        print(f"cleared {n_entries} cache entr{'y' if n_entries == 1 else 'ies'} "
+              f"under {cache_dir}")
+        if args.tables:
+            tables_root = table_path(cache_dir, "x").parent
+            n_tables = len(list(tables_root.glob("*.npz"))) if tables_root.is_dir() else 0
+            shutil.rmtree(tables_root, ignore_errors=True)
+            print(f"cleared {n_tables} precomputed table(s)")
+        return 0
+
+    raise SystemExit(f"unknown plancache action {args.action}")  # pragma: no cover
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -230,6 +379,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_mc(args)
     if args.command == "t0opt":
         return _cmd_t0opt(args)
+    if args.command == "plancache":
+        return _cmd_plancache(args)
     raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
 
 

@@ -55,6 +55,15 @@ from .optimizer import (
     optimize_schedule,
     optimize_t0_via_recurrence,
 )
+from .plancache import (
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    PlanCache,
+    default_cache_dir,
+    default_plan_cache,
+    plan_key,
+    reset_default_plan_cache,
+)
 from .perturbation import (
     LocalOptimalityReport,
     is_locally_optimal,
@@ -138,6 +147,9 @@ __all__ = [
     # optimizer
     "OptimizationResult", "optimize_fixed_m", "optimize_schedule",
     "optimize_t0_via_recurrence", "expected_work_gradient",
+    # plan cache
+    "PlanCache", "CacheStats", "plan_key", "CACHE_SCHEMA_VERSION",
+    "default_plan_cache", "default_cache_dir", "reset_default_plan_cache",
     # greedy / progressive
     "greedy_schedule", "greedy_next_period",
     "ProgressiveScheduler", "progressive_schedule",

@@ -22,6 +22,7 @@ from typing import Optional
 from ..exceptions import CycleStealingError
 from ..types import Bracket
 from .life_functions import LifeFunction, Shape
+from .plancache import PlanCache
 from .recurrence import RecurrenceOutcome, Termination, generate_schedule
 from .schedule import Schedule
 from .t0_bounds import lower_bound_t0, t0_bracket
@@ -67,6 +68,7 @@ def guideline_schedule(
     shape: Optional[Shape] = None,
     grid: int = 129,
     max_periods: int = 10_000,
+    cache: Optional[PlanCache] = None,
 ) -> GuidelineResult:
     """Produce a near-optimal cycle-stealing schedule for life function ``p``.
 
@@ -92,6 +94,11 @@ def guideline_schedule(
         Grid resolution for the ``"optimize"`` strategy.
     max_periods:
         Safety cap on generated periods.
+    cache:
+        Optional :class:`~repro.core.plancache.PlanCache`; the
+        ``"optimize"`` strategy's ``t_0`` search rides it (keyed on the life
+        function's fingerprint), so repeated guideline queries for the same
+        ``(p, c)`` are served in O(1).
 
     Raises
     ------
@@ -110,7 +117,9 @@ def guideline_schedule(
     elif t0_strategy == "optimize":
         from .optimizer import optimize_t0_via_recurrence
 
-        chosen, outcome, ew = optimize_t0_via_recurrence(p, c, bracket=bracket, grid=grid)
+        chosen, outcome, ew = optimize_t0_via_recurrence(
+            p, c, bracket=bracket, grid=grid, cache=cache
+        )
         strategy_used = "optimize"
     else:
         point = {"lower": bracket.lo, "mid": bracket.mid, "upper": bracket.hi}[t0_strategy]

@@ -174,6 +174,58 @@ class LifeFunction(ABC):
         value, _ = integrate.quad(lambda x: float(self(x)), 0.0, upper, limit=200)
         return float(value)
 
+    # ------------------------------------------------------------------
+    # Fingerprinting (content addressing for the plan cache)
+    # ------------------------------------------------------------------
+
+    def _fingerprint_params(self) -> Optional[tuple[tuple[str, float], ...]]:
+        """Canonical ``(name, value)`` pairs identifying this instance.
+
+        Families with closed-form parameters override this; the default
+        returns ``None``, which makes :meth:`fingerprint` fall back to
+        content probing (hashing ``p`` on a canonical grid).
+        """
+        return None
+
+    def fingerprint(self) -> str:
+        """A stable content address: family name + canonical params + shape.
+
+        Two instances with equal fingerprints represent the same survival
+        function, so cached schedules / ``t_0`` searches keyed on the
+        fingerprint can be served interchangeably (the plan cache's
+        contract, :mod:`repro.core.plancache`).  Floats are rendered with
+        ``float.hex`` so the key is exact and platform-stable.
+        """
+        name = type(self).__qualname__
+        params = self._fingerprint_params()
+        if params is not None:
+            body = ",".join(f"{key}={float(value).hex()}" for key, value in params)
+        else:
+            body = f"probe:{self._content_probe_digest()}"
+        return f"{name}({body})|{self.shape.value}"
+
+    def _content_probe_digest(self, n_points: int = 65) -> str:
+        """SHA-256 of ``p`` sampled on a canonical support-covering grid.
+
+        The generic fingerprint for subclasses without declared parameters:
+        deterministic, and collision-safe up to the probe resolution (two
+        functions agreeing on all 65 probe points are treated as identical).
+        """
+        import hashlib
+
+        if math.isfinite(self.lifespan):
+            upper = self.lifespan
+        else:
+            upper = float(self.inverse(1e-9))
+            if not math.isfinite(upper) or upper <= 0:
+                upper = self._tail_horizon(1e-9)
+        ts = np.linspace(0.0, upper, n_points)
+        vals = np.asarray(self(ts), dtype=float)
+        digest = hashlib.sha256()
+        digest.update(np.asarray([upper], dtype=float).tobytes())
+        digest.update(vals.tobytes())
+        return digest.hexdigest()[:20]
+
     def conditional(self, s: float) -> "ConditionalLifeFunction":
         """The life function conditioned on survival to time ``s``.
 
@@ -287,6 +339,13 @@ class ConditionalLifeFunction(LifeFunction):
 
     def _derivative(self, t: FloatArray) -> FloatArray:
         return np.asarray(self.parent.derivative(self.s + t), dtype=float) / self._ps
+
+    def fingerprint(self) -> str:
+        """Compose the parent's fingerprint with the conditioning time."""
+        return (
+            f"ConditionalLifeFunction(s={self.s.hex()};{self.parent.fingerprint()})"
+            f"|{self.shape.value}"
+        )
 
     def inverse(self, y: ArrayLike) -> ArrayLike:
         """Exact inverse via the parent: ``p_s(t) = y  ⟺  t = p⁻¹(y·p(s)) − s``.

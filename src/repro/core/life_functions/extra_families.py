@@ -41,6 +41,9 @@ class GompertzLife(LifeFunction):
         self.b = float(b)
         self.eta = float(eta)
 
+    def _fingerprint_params(self) -> tuple[tuple[str, float], ...]:
+        return (("b", self.b), ("eta", self.eta))
+
     def _cum_hazard(self, t: FloatArray) -> FloatArray:
         return (self.b / self.eta) * np.expm1(self.eta * t)
 
@@ -88,6 +91,9 @@ class LogLogisticLife(LifeFunction):
             raise ValueError(f"need alpha > 0 and beta > 0, got {alpha}, {beta}")
         self.alpha = float(alpha)
         self.beta = float(beta)
+
+    def _fingerprint_params(self) -> tuple[tuple[str, float], ...]:
+        return (("alpha", self.alpha), ("beta", self.beta))
 
     def _evaluate(self, t: FloatArray) -> FloatArray:
         return 1.0 / (1.0 + (t / self.alpha) ** self.beta)

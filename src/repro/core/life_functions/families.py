@@ -65,6 +65,9 @@ class PolynomialRisk(LifeFunction):
         self.d = int(d)
         self._lifespan = float(lifespan)
 
+    def _fingerprint_params(self) -> tuple[tuple[str, float], ...]:
+        return (("d", float(self.d)), ("L", self._lifespan))
+
     def _evaluate(self, t: FloatArray) -> FloatArray:
         return 1.0 - (t / self._lifespan) ** self.d
 
@@ -129,6 +132,9 @@ class GeometricDecreasingLifespan(LifeFunction):
         self.a = float(a)
         self.ln_a = math.log(self.a)
 
+    def _fingerprint_params(self) -> tuple[tuple[str, float], ...]:
+        return (("a", self.a),)
+
     def _evaluate(self, t: FloatArray) -> FloatArray:
         return np.exp(-self.ln_a * t)
 
@@ -177,6 +183,9 @@ class GeometricIncreasingRisk(LifeFunction):
         self._lifespan = float(lifespan)
         # 1 - 2^{-L}, computed stably for large L.
         self._denom = -math.expm1(-self._lifespan * math.log(2.0))
+
+    def _fingerprint_params(self) -> tuple[tuple[str, float], ...]:
+        return (("L", self._lifespan),)
 
     def _evaluate(self, t: FloatArray) -> FloatArray:
         # (1 - 2^{t-L}) / (1 - 2^{-L})
@@ -232,6 +241,9 @@ class WeibullLife(LifeFunction):
         self.k = float(k)
         self.scale = float(scale)
 
+    def _fingerprint_params(self) -> tuple[tuple[str, float], ...]:
+        return (("k", self.k), ("scale", self.scale))
+
     def _evaluate(self, t: FloatArray) -> FloatArray:
         return np.exp(-((t / self.scale) ** self.k))
 
@@ -280,6 +292,9 @@ class ParetoLife(LifeFunction):
         if d <= 0:
             raise ValueError(f"exponent d must be positive, got {d}")
         self.d = float(d)
+
+    def _fingerprint_params(self) -> tuple[tuple[str, float], ...]:
+        return (("d", self.d),)
 
     def _evaluate(self, t: FloatArray) -> FloatArray:
         return (1.0 + t) ** (-self.d)

@@ -41,6 +41,14 @@ class MixtureLife(LifeFunction):
         self.components = tuple(components)
         self.weights = w
 
+    def fingerprint(self) -> str:
+        """Compose component fingerprints with their (exact-hex) weights."""
+        body = "+".join(
+            f"{float(w).hex()}*{comp.fingerprint()}"
+            for w, comp in zip(self.weights, self.components)
+        )
+        return f"MixtureLife[{body}]|{self.shape.value}"
+
     def _evaluate(self, t: FloatArray) -> FloatArray:
         acc = np.zeros_like(t)
         for w, comp in zip(self.weights, self.components):
@@ -82,6 +90,13 @@ class TimeScaledLife(LifeFunction):
             raise ValueError(f"scale factor must be positive, got {factor}")
         self.parent = parent
         self.factor = float(factor)
+
+    def fingerprint(self) -> str:
+        """Compose the parent's fingerprint with the scale factor."""
+        return (
+            f"TimeScaledLife(factor={self.factor.hex()};{self.parent.fingerprint()})"
+            f"|{self.shape.value}"
+        )
 
     def _evaluate(self, t: FloatArray) -> FloatArray:
         return np.asarray(self.parent(t / self.factor), dtype=float)

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..types import Bracket, FloatArray
 from .batch_recurrence import generate_schedules_batch
 from .life_functions import LifeFunction
+from .plancache import PlanCache, plan_key
 from .t0_bounds import lower_bound_t0
 
 __all__ = ["T0Landscape", "scan_t0_landscape", "count_expected_work_peaks",
@@ -71,8 +73,28 @@ def scan_t0_landscape(
     bracket: Bracket | None = None,
     n_points: int = 513,
     widen: float = 2.0,
+    cache: Optional[PlanCache] = None,
 ) -> T0Landscape:
-    """Sample ``E(S(t_0))`` on a grid over (a widened) t0 search interval."""
+    """Sample ``E(S(t_0))`` on a grid over (a widened) t0 search interval.
+
+    ``cache`` (a :class:`~repro.core.plancache.PlanCache`) memoizes the whole
+    sampled landscape keyed on ``p.fingerprint()`` and the grid parameters.
+    """
+    if cache is not None:
+        fp = cache.fingerprint_of(p)
+        key = None if fp is None else plan_key(
+            "t0landscape", fp, c,
+            bracket=None if bracket is None else (bracket.lo, bracket.hi),
+            n_points=n_points, widen=widen,
+        )
+        from .. import io as _io  # deferred: repro.io imports this module
+
+        return cache.get_or_compute(
+            key,
+            lambda: scan_t0_landscape(p, c, bracket, n_points, widen),
+            to_payload=_io.t0_landscape_to_dict,
+            from_payload=_io.t0_landscape_from_dict,
+        )
     if bracket is None:
         lo = max(lower_bound_t0(p, c) / widen, c * (1 + 1e-9))
         hi_cap = p.lifespan if math.isfinite(p.lifespan) else float(p.inverse(1e-8))

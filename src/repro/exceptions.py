@@ -60,5 +60,32 @@ class TraceError(CycleStealingError):
     """An owner-usage trace is malformed or insufficient for estimation."""
 
 
+class SweepError(CycleStealingError):
+    """A parameter-sweep worker failed; the message names the offending params.
+
+    :func:`repro.analysis.sweeps.run_sweep` wraps worker exceptions in this
+    type so a failure deep inside a process pool still reports *which*
+    parameter point broke.  The original exception is chained as
+    ``__cause__`` and its repr is embedded in the message (process pools
+    cannot always pickle arbitrary causes across the IPC boundary).
+    """
+
+    def __init__(self, message: str, params: dict | None = None) -> None:
+        super().__init__(message)
+        self.params = params or {}
+
+    def __reduce__(self):  # keep picklability across ProcessPoolExecutor
+        return (type(self), (self.args[0], self.params))
+
+
+class PlanCacheError(CycleStealingError):
+    """The schedule plan cache hit an unrecoverable state.
+
+    Recoverable problems (corrupt disk entries, unwritable cache dirs) are
+    absorbed and counted in :class:`repro.core.plancache.CacheStats`; this is
+    raised only for caller errors such as invalid cache configuration.
+    """
+
+
 class FittingError(CycleStealingError):
     """Life-function fitting from trace data failed."""

@@ -12,9 +12,13 @@ from __future__ import annotations
 import json
 from typing import Any
 
+import numpy as np
+
 from .core.guidelines import GuidelineResult
-from .core.recurrence import Termination
+from .core.optimizer import OptimizationResult
+from .core.recurrence import RecurrenceOutcome, Termination
 from .core.schedule import Schedule
+from .core.uniqueness import T0Landscape
 from .exceptions import CycleStealingError
 from .types import Bracket
 
@@ -23,6 +27,14 @@ __all__ = [
     "schedule_from_dict",
     "guideline_result_to_dict",
     "guideline_result_from_dict",
+    "recurrence_outcome_to_dict",
+    "recurrence_outcome_from_dict",
+    "optimization_result_to_dict",
+    "optimization_result_from_dict",
+    "t0_search_to_dict",
+    "t0_search_from_dict",
+    "t0_landscape_to_dict",
+    "t0_landscape_from_dict",
     "dumps",
     "loads",
 ]
@@ -69,6 +81,92 @@ def guideline_result_from_dict(data: dict[str, Any]) -> GuidelineResult:
         bracket=Bracket(float(data["bracket"][0]), float(data["bracket"][1])),
         termination=Termination(data["termination"]),
         t0_strategy=str(data["t0_strategy"]),
+    )
+
+
+def recurrence_outcome_to_dict(outcome: RecurrenceOutcome) -> dict[str, Any]:
+    """A JSON-ready representation of a recurrence outcome."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "recurrence_outcome",
+        "periods": [float(t) for t in outcome.schedule.periods],
+        "termination": outcome.termination.value,
+        "targets": [float(t) for t in outcome.targets],
+    }
+
+
+def recurrence_outcome_from_dict(data: dict[str, Any]) -> RecurrenceOutcome:
+    """Rebuild a recurrence outcome."""
+    _check(data, "recurrence_outcome")
+    return RecurrenceOutcome(
+        schedule=Schedule(data["periods"]),
+        termination=Termination(data["termination"]),
+        targets=np.asarray(data["targets"], dtype=float),
+    )
+
+
+def optimization_result_to_dict(result: OptimizationResult) -> dict[str, Any]:
+    """A JSON-ready representation of a numeric optimization result."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "optimization_result",
+        "periods": [float(t) for t in result.schedule.periods],
+        "expected_work": result.expected_work,
+        "method": result.method,
+        "converged": result.converged,
+    }
+
+
+def optimization_result_from_dict(data: dict[str, Any]) -> OptimizationResult:
+    """Rebuild an optimization result."""
+    _check(data, "optimization_result")
+    return OptimizationResult(
+        schedule=Schedule(data["periods"]),
+        expected_work=float(data["expected_work"]),
+        method=str(data["method"]),
+        converged=bool(data["converged"]),
+    )
+
+
+def t0_search_to_dict(
+    t0: float, outcome: RecurrenceOutcome, expected_work: float
+) -> dict[str, Any]:
+    """A JSON-ready representation of an ``optimize_t0_via_recurrence`` result."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "t0_search",
+        "t0": float(t0),
+        "expected_work": float(expected_work),
+        "outcome": recurrence_outcome_to_dict(outcome),
+    }
+
+
+def t0_search_from_dict(data: dict[str, Any]) -> tuple[float, RecurrenceOutcome, float]:
+    """Rebuild a ``(t0, outcome, expected work)`` search result."""
+    _check(data, "t0_search")
+    return (
+        float(data["t0"]),
+        recurrence_outcome_from_dict(data["outcome"]),
+        float(data["expected_work"]),
+    )
+
+
+def t0_landscape_to_dict(landscape: T0Landscape) -> dict[str, Any]:
+    """A JSON-ready representation of a sampled t0 landscape."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "t0_landscape",
+        "t0_values": [float(t) for t in landscape.t0_values],
+        "expected_work": [float(e) for e in landscape.expected_work],
+    }
+
+
+def t0_landscape_from_dict(data: dict[str, Any]) -> T0Landscape:
+    """Rebuild a t0 landscape."""
+    _check(data, "t0_landscape")
+    return T0Landscape(
+        t0_values=np.asarray(data["t0_values"], dtype=float),
+        expected_work=np.asarray(data["expected_work"], dtype=float),
     )
 
 

@@ -10,6 +10,7 @@ from repro.analysis.efficiency import efficiency_report, work_ratio
 from repro.analysis.sweeps import cartesian_sweep, run_sweep
 from repro.analysis.tables import format_table
 from repro.core.life_functions import UniformRisk
+from repro.exceptions import SweepError
 
 
 class TestTables:
@@ -37,6 +38,13 @@ class TestTables:
 def _affine(x, y):
     """Module-level sweep target so process pools can pickle it."""
     return [x + 10 * y]
+
+
+def _explodes_on_three(x, y):
+    """Module-level sweep target that fails for one specific point."""
+    if x == 3:
+        raise ZeroDivisionError("boom")
+    return [x + y]
 
 
 class TestSweeps:
@@ -78,6 +86,27 @@ class TestSweeps:
             run_sweep([{"x": 1, "y": 1}], _affine, n_jobs=0)
         with pytest.raises(ValueError):
             run_sweep([{"x": 1, "y": 1}], _affine, n_jobs=-2)
+
+    def test_invalid_chunksize(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            run_sweep([{"x": 1, "y": 1}], _affine, n_jobs=2, chunksize=0)
+        with pytest.raises(ValueError, match="chunksize"):
+            run_sweep([{"x": 1, "y": 1}], _affine, chunksize=-1)
+
+    def test_failure_names_offending_point_serial(self):
+        params = cartesian_sweep(x=[1, 2, 3, 4], y=[0])
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(params, _explodes_on_three)
+        assert "'x': 3" in str(excinfo.value)
+        assert excinfo.value.params == {"x": 3, "y": 0}
+        assert isinstance(excinfo.value.__cause__, ZeroDivisionError)
+
+    def test_failure_names_offending_point_process_pool(self):
+        params = cartesian_sweep(x=[1, 2, 3, 4], y=[0])
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(params, _explodes_on_three, n_jobs=2)
+        assert "'x': 3" in str(excinfo.value)
+        assert excinfo.value.params == {"x": 3, "y": 0}  # survives pickling
 
 
 class TestEfficiency:

@@ -1,0 +1,209 @@
+"""Precomputed guideline tables: sweep, persistence, interpolation, serving."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables_precompute import (
+    TABLE_FAMILIES,
+    TABLE_SCHEMA_VERSION,
+    GuidelineTable,
+    TableServer,
+    default_grids,
+    load_table,
+    make_family_life,
+    precompute_table,
+    save_table,
+    table_path,
+)
+from repro.core.optimizer import optimize_t0_via_recurrence
+from repro.exceptions import PlanCacheError
+
+
+@pytest.fixture(scope="module")
+def uniform_table() -> GuidelineTable:
+    return precompute_table(
+        "uniform",
+        c_grid=np.geomspace(1.0, 4.0, 5),
+        param_grid=np.geomspace(80.0, 640.0, 5),
+    )
+
+
+class TestPrecompute:
+    def test_shapes_and_monotone_t0(self, uniform_table):
+        assert uniform_table.shape == (5, 5)
+        assert uniform_table.t0.shape == (5, 5)
+        assert np.all(np.isfinite(uniform_table.t0))
+        # t0* grows with L for the uniform family (Section 4.1: ~ sqrt(2cL)).
+        assert np.all(np.diff(uniform_table.t0, axis=1) > 0)
+
+    def test_grid_matches_scalar_optimizer(self, uniform_table):
+        i, j = 2, 3
+        p = make_family_life("uniform", float(uniform_table.param_grid[j]))
+        t0, _, ew = optimize_t0_via_recurrence(
+            p, float(uniform_table.c_grid[i]),
+            grid=uniform_table.search_grid, widen=uniform_table.search_widen,
+        )
+        assert uniform_table.t0[i, j] == pytest.approx(t0, rel=1e-12)
+        assert uniform_table.expected_work[i, j] == pytest.approx(ew, rel=1e-12)
+
+    def test_process_pool_matches_serial(self):
+        kwargs = dict(c_grid=np.geomspace(1.0, 3.0, 3),
+                      param_grid=np.geomspace(20.0, 60.0, 3), search_grid=33)
+        serial = precompute_table("geominc", **kwargs)
+        pooled = precompute_table("geominc", n_jobs=2, **kwargs)
+        np.testing.assert_array_equal(serial.t0, pooled.t0)
+        np.testing.assert_array_equal(serial.expected_work, pooled.expected_work)
+
+    def test_rejects_bad_grids(self):
+        with pytest.raises(PlanCacheError):
+            precompute_table("uniform", c_grid=np.array([1.0]),
+                             param_grid=np.array([10.0, 20.0]))
+        with pytest.raises(PlanCacheError):
+            precompute_table("uniform", c_grid=np.array([2.0, 1.0]),
+                             param_grid=np.array([10.0, 20.0]))
+
+    def test_unknown_family(self):
+        with pytest.raises(PlanCacheError):
+            make_family_life("exotic", 1.0)
+        with pytest.raises(PlanCacheError):
+            default_grids("exotic")
+
+
+class TestInterpolation:
+    def test_on_grid_point_recovers_corner(self, uniform_table):
+        c = float(uniform_table.c_grid[2])
+        v = float(uniform_table.param_grid[2])
+        t0, lo, hi = uniform_table.interpolate_t0(c, v)
+        assert lo <= t0 <= hi
+        assert t0 == pytest.approx(uniform_table.t0[2, 2], rel=1e-9)
+
+    def test_off_grid_between_corners(self, uniform_table):
+        c = float(np.sqrt(uniform_table.c_grid[1] * uniform_table.c_grid[2]))
+        v = float(np.sqrt(uniform_table.param_grid[1] * uniform_table.param_grid[2]))
+        t0, lo, hi = uniform_table.interpolate_t0(c, v)
+        corners = uniform_table.t0[1:3, 1:3]
+        assert float(np.min(corners)) == lo
+        assert float(np.max(corners)) == hi
+        assert lo <= t0 <= hi
+
+    def test_contains(self, uniform_table):
+        assert uniform_table.contains(2.0, 100.0)
+        assert not uniform_table.contains(0.5, 100.0)
+        assert not uniform_table.contains(2.0, 1e6)
+
+    def test_nan_cell_raises(self, uniform_table):
+        broken = GuidelineTable(
+            family=uniform_table.family,
+            param_name=uniform_table.param_name,
+            fixed=uniform_table.fixed,
+            c_grid=uniform_table.c_grid,
+            param_grid=uniform_table.param_grid,
+            t0=np.where(np.eye(5, dtype=bool), np.nan, uniform_table.t0),
+            expected_work=uniform_table.expected_work,
+            num_periods=uniform_table.num_periods,
+        )
+        with pytest.raises(Exception):
+            broken.interpolate_t0(float(broken.c_grid[0]) * 1.01,
+                                  float(broken.param_grid[0]) * 1.01)
+
+
+class TestPersistence:
+    def test_npz_round_trip(self, uniform_table, tmp_path):
+        path = table_path(tmp_path, "uniform")
+        save_table(uniform_table, path)
+        loaded = load_table(path)
+        assert loaded is not None
+        assert loaded.family == "uniform"
+        assert loaded.param_name == uniform_table.param_name
+        assert loaded.schema_version == TABLE_SCHEMA_VERSION
+        np.testing.assert_array_equal(loaded.t0, uniform_table.t0)
+        np.testing.assert_array_equal(loaded.expected_work,
+                                      uniform_table.expected_work)
+        np.testing.assert_array_equal(loaded.c_grid, uniform_table.c_grid)
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_table(tmp_path / "nope.npz") is None
+
+    def test_corrupt_file_is_none(self, uniform_table, tmp_path):
+        path = table_path(tmp_path, "uniform")
+        save_table(uniform_table, path)
+        path.write_bytes(b"garbage" * 100)
+        assert load_table(path) is None
+
+    def test_truncated_file_is_none(self, uniform_table, tmp_path):
+        path = table_path(tmp_path, "uniform")
+        save_table(uniform_table, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert load_table(path) is None
+
+
+class TestServer:
+    def test_off_grid_query_accuracy(self, uniform_table):
+        server = TableServer()
+        server.add_table(uniform_table)
+        rng = np.random.default_rng(7)
+        for _ in range(4):
+            c = float(rng.uniform(1.1, 3.8))
+            L = float(rng.uniform(90.0, 600.0))
+            answer = server.query("uniform", c, L)
+            assert answer.source == "table"
+            p = make_family_life("uniform", L)
+            _, _, ew = optimize_t0_via_recurrence(p, c)
+            assert answer.expected_work == pytest.approx(ew, rel=1e-6)
+            assert answer.schedule.num_periods >= 1
+        assert server.counters["table"] == 4
+        assert server.counters["optimizer"] == 0
+
+    def test_out_of_bounds_falls_back_to_optimizer(self, uniform_table):
+        server = TableServer()
+        server.add_table(uniform_table)
+        answer = server.query("uniform", 20.0, 5000.0)
+        assert answer.source == "optimizer"
+        p = make_family_life("uniform", 5000.0)
+        _, _, ew = optimize_t0_via_recurrence(p, 20.0)
+        assert answer.expected_work == pytest.approx(ew, rel=1e-12)
+
+    def test_no_table_falls_back(self, tmp_path):
+        server = TableServer(cache_dir=tmp_path)  # nothing warmed
+        answer = server.query("geomdec", 0.5, 1.3)
+        assert answer.source == "optimizer"
+
+    def test_corrupt_table_on_disk_falls_back(self, uniform_table, tmp_path):
+        path = table_path(tmp_path, "uniform")
+        save_table(uniform_table, path)
+        path.write_bytes(b"junk")
+        server = TableServer(cache_dir=tmp_path)
+        answer = server.query("uniform", 2.0, 100.0)
+        assert answer.source == "optimizer"
+
+    def test_warm_persists_and_reloads(self, tmp_path):
+        grids = {"geominc": (np.geomspace(0.5, 2.0, 3), np.geomspace(15.0, 60.0, 3))}
+        server = TableServer(cache_dir=tmp_path)
+        built = server.warm(families=["geominc"], grids=grids, search_grid=33)
+        assert set(built) == {"geominc"}
+        assert table_path(tmp_path, "geominc").exists()
+        fresh = TableServer(cache_dir=tmp_path)
+        answer = fresh.query("geominc", 1.0, 30.0)
+        assert answer.source == "table"
+
+    def test_no_polish_query(self, uniform_table):
+        server = TableServer()
+        server.add_table(uniform_table)
+        answer = server.query("uniform", 2.1, 111.0, polish=False)
+        assert answer.source == "table"
+        p = make_family_life("uniform", 111.0)
+        _, _, ew = optimize_t0_via_recurrence(p, 2.1)
+        # Raw bilinear t0 (no polish): still close, though not 1e-6 tight.
+        assert answer.expected_work == pytest.approx(ew, rel=1e-2)
+
+    def test_all_families_declared(self):
+        assert set(TABLE_FAMILIES) == {"uniform", "poly", "geomdec", "geominc"}
+        for fam in TABLE_FAMILIES:
+            c_grid, param_grid = default_grids(fam)
+            assert c_grid.size >= 2 and param_grid.size >= 2
+            p = make_family_life(fam, float(param_grid[0]),
+                                 dict(TABLE_FAMILIES[fam][1]))
+            assert p(0.0) == pytest.approx(1.0)

@@ -121,6 +121,105 @@ class TestParsing:
                   "--c", "2", "--grid", "1"])
 
 
+class TestPlanCacheCommand:
+    def test_warm_query_stats_clear_cycle(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "plancache")
+        status = main(["plancache", "warm", "--family", "uniform",
+                       "--cache-dir", cache_dir, "--grid-points", "5",
+                       "--search-grid", "33"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "warmed uniform" in out
+        assert "5x5" in out
+
+        status = main(["plancache", "query", "--family", "uniform",
+                       "--c", "2.0", "--value", "200",
+                       "--cache-dir", cache_dir])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "source        : table" in out
+        assert "expected work" in out
+
+        status = main(["plancache", "stats", "--cache-dir", cache_dir])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "table uniform : 5x5" in out
+        assert "table poly    : missing" in out
+
+        status = main(["plancache", "clear", "--cache-dir", cache_dir,
+                       "--tables"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        main(["plancache", "stats", "--cache-dir", cache_dir])
+        assert "table uniform : missing" in capsys.readouterr().out
+
+    def test_warm_smoke_default_grid(self, tmp_path, capsys):
+        """The documented tier-1 smoke invocation, on a tiny grid."""
+        status = main(["plancache", "warm", "--family", "uniform",
+                       "--cache-dir", str(tmp_path), "--grid-points", "3",
+                       "--search-grid", "17"])
+        assert status == 0
+        assert "1 table(s)" in capsys.readouterr().out
+
+    def test_query_outside_table_falls_back(self, tmp_path, capsys):
+        status = main(["plancache", "query", "--family", "geominc",
+                       "--c", "1.0", "--value", "30",
+                       "--cache-dir", str(tmp_path)])  # nothing warmed
+        assert status == 0
+        assert "source        : optimizer" in capsys.readouterr().out
+
+    def test_warm_bad_grid_points(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["plancache", "warm", "--family", "uniform",
+                  "--cache-dir", str(tmp_path), "--grid-points", "1"])
+
+    def test_query_matches_t0opt(self, tmp_path, capsys):
+        """A table-served answer agrees with the direct t0 optimizer CLI."""
+        cache_dir = str(tmp_path)
+        main(["plancache", "warm", "--family", "geominc",
+              "--cache-dir", cache_dir, "--grid-points", "5"])
+        capsys.readouterr()
+        main(["plancache", "query", "--family", "geominc",
+              "--c", "1.0", "--value", "30", "--cache-dir", cache_dir])
+        served = capsys.readouterr().out
+        main(["t0opt", "--family", "geominc", "--lifespan", "30", "--c", "1"])
+        direct = capsys.readouterr().out
+        pick = lambda txt: [l.split(":")[1].strip() for l in txt.splitlines()
+                            if l.startswith("expected work")]
+        ew_served = float(pick(served)[0])
+        ew_direct = float(pick(direct)[0])
+        assert ew_served == pytest.approx(ew_direct, rel=1e-6)
+
+
+class TestCachedCommands:
+    def test_t0opt_cache_dir_round_trip(self, tmp_path, capsys):
+        argv = ["t0opt", "--family", "uniform", "--lifespan", "300",
+                "--c", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        pick = lambda txt: [l for l in txt.splitlines()
+                            if l.startswith(("t0 chosen", "expected"))]
+        assert pick(cold) == pick(warm)
+        assert any((tmp_path / "v1").glob("*.json"))
+
+    def test_compare_cache_dir(self, tmp_path, capsys):
+        from repro.core import reset_default_plan_cache
+
+        argv = ["compare", "--family", "geominc", "--lifespan", "20",
+                "--c", "1", "--cache-dir", str(tmp_path)]
+        reset_default_plan_cache()  # fresh process-default cache per "run"
+        assert main(argv) == 0
+        assert "plan cache" in capsys.readouterr().out
+        reset_default_plan_cache()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "disk hits" in out
+        assert "0 misses" in out
+
+
 class TestLifeFunctionFactory:
     def test_all_families(self):
         parser = build_parser()
