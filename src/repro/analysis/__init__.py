@@ -1,5 +1,14 @@
 """Analysis helpers: efficiency ratios, sweeps, robustness, table formatting."""
 
+from .chaos import (
+    FAULT_CLASSES,
+    ChaosCell,
+    ChaosConfig,
+    build_fault_plan,
+    chaos_matrix,
+    report_to_json,
+    run_chaos_cell,
+)
 from .efficiency import EfficiencyReport, efficiency_report, work_ratio
 from .robustness import (
     RobustnessPoint,
@@ -24,6 +33,13 @@ from .tables_precompute import (
 )
 
 __all__ = [
+    "FAULT_CLASSES",
+    "ChaosCell",
+    "ChaosConfig",
+    "build_fault_plan",
+    "chaos_matrix",
+    "report_to_json",
+    "run_chaos_cell",
     "EfficiencyReport",
     "efficiency_report",
     "work_ratio",

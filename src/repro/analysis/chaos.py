@@ -1,0 +1,353 @@
+"""Chaos-matrix harness: goodput under injected faults (E-CHAOS).
+
+Sweeps the fault classes of :mod:`repro.faults` — plus a serving-stack
+outage injected through :class:`~repro.core.serving.TierChaos` — against a
+grid of fault rates, running the full resilient stack in every cell: the
+discrete-event farm with the fault runtime and the retry path, a
+:class:`~repro.core.serving.PlanServer` planning each episode's schedule, and
+a :class:`~repro.baselines.policies.DegradedModePolicy` absorbing planner
+outages with the Theorem 3.2 closed-form anchor.
+
+Design for statistical honesty:
+
+* **Common random numbers** — every cell at one seed replays the *same*
+  owner timeline (the farm generator is seeded per cell seed, and fault
+  draws come from the plan's independent streams), so goodput differences
+  across rates measure the faults, not resampled owners.
+* **Never-finishing workload** — the task pool holds several times more work
+  than the farm can commit inside the horizon, so every cell runs the full
+  horizon and goodput denominators match.
+* **Determinism witness** — each cell records its
+  :meth:`~repro.faults.log.FaultLog.digest`; identical ``(class, rate,
+  seed)`` cells must reproduce identical digests bit-for-bit.
+
+The matrix powers the tier-1 chaos smoke test (``tests/analysis/test_chaos``)
+and the ``repro chaos`` CLI / ``benchmarks/bench_chaos.py`` artifact
+(``BENCH_chaos.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from ..baselines.policies import DegradedModePolicy, EpisodeInfo
+from ..core.life_functions import UniformRisk
+from ..core.plancache import PlanCache
+from ..core.schedule import Schedule
+from ..core.serving import PlanServer, TierChaos
+from ..exceptions import FaultPlanError
+from ..faults import (
+    CrashFault,
+    FaultPlan,
+    LifeDriftFault,
+    MessageDelayFault,
+    MessageLossFault,
+    OverheadJitterFault,
+    ResultCorruptionFault,
+)
+from ..now.farm import RetryPolicy, run_farm
+from ..now.network import Network, Workstation
+from ..now.owner import OwnerProcess
+from ..workloads.tasks import Task, TaskPool
+
+__all__ = [
+    "FAULT_CLASSES",
+    "ChaosConfig",
+    "ChaosCell",
+    "build_fault_plan",
+    "run_chaos_cell",
+    "chaos_matrix",
+    "report_to_json",
+]
+
+#: Fault classes the matrix sweeps.  The first six map onto
+#: :mod:`repro.faults` injectors in the farm; ``planner_outage`` instead
+#: injects :class:`~repro.exceptions.FaultInjectionError` into every
+#: :class:`~repro.core.serving.PlanServer` tier (including the closed-form
+#: one, so total outages exercise the policy's Theorem 3.2 anchor).
+FAULT_CLASSES = (
+    "crash",
+    "message_loss",
+    "message_delay",
+    "overhead_jitter",
+    "result_corruption",
+    "life_drift",
+    "planner_outage",
+)
+
+#: The serving tiers a ``planner_outage`` cell injects faults into.
+_OUTAGE_TIERS = ("table", "cache", "optimizer", "guideline")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos cell's farm setup (identical across the whole matrix).
+
+    The defaults give each cell ~80+ episodes (4 workstations, short owner
+    cycles over the horizon) and a pool holding far more work than the farm
+    can commit, so no cell finishes early and goodput denominators agree.
+    """
+
+    n_ws: int = 4
+    c: float = 1.0
+    lifespan: float = 30.0  #: uniform-risk L of every owner's absences
+    present_mean: float = 4.0
+    horizon: float = 600.0
+    task_duration: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_ws < 1:
+            raise FaultPlanError(f"need at least one workstation, got {self.n_ws}")
+        if self.horizon <= 0:
+            raise FaultPlanError(f"horizon must be positive, got {self.horizon}")
+
+    @property
+    def n_tasks(self) -> int:
+        """Pool size: ~3x the work the farm could commit running flat out."""
+        return int(3.0 * self.n_ws * self.horizon / self.task_duration)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready configuration record."""
+        return {
+            "n_ws": self.n_ws, "c": self.c, "lifespan": self.lifespan,
+            "present_mean": self.present_mean, "horizon": self.horizon,
+            "task_duration": self.task_duration, "n_tasks": self.n_tasks,
+        }
+
+
+#: Quick-mode override used by the tier-1 smoke test and ``repro chaos --quick``.
+QUICK_CONFIG = ChaosConfig(horizon=200.0)
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One ``(fault class, rate, seed)`` cell's measured outcome."""
+
+    fault_class: str
+    rate: float
+    seed: int
+    goodput: float
+    work_done: float
+    work_lost: float
+    overhead_paid: float
+    episodes: int
+    periods_committed: int
+    periods_killed: int
+    crashes: int
+    dispatches_lost: int
+    retries: int
+    periods_corrupted: int
+    events_processed: int
+    #: Determinism witness: sha256 of the cell's canonical fault log.
+    fault_digest: str
+    fault_counts: dict[str, int]
+    #: Degradation mix of the per-workstation planner policies, summed.
+    planner_served: int
+    planner_failures: int
+    degraded_episodes: int
+    #: The cell's serving-chain counters (``PlanServer.stats_dict()``).
+    serving: dict[str, Any]
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready cell record."""
+        return dict(self.__dict__)
+
+
+def build_fault_plan(
+    fault_class: str, rate: float, seed: int
+) -> tuple[FaultPlan, Optional[dict[str, float]]]:
+    """Map ``(class, rate in [0, 1])`` to a farm plan + serving chaos rates.
+
+    Returns ``(plan, tier_rates)``: farm fault classes give a one-injector
+    plan and ``tier_rates=None``; ``planner_outage`` gives a *null* farm plan
+    plus the per-tier rates for a :class:`~repro.core.serving.TierChaos`.
+    A zero rate always yields the null plan (the differential baseline).
+    """
+    if fault_class not in FAULT_CLASSES:
+        raise FaultPlanError(
+            f"unknown fault class {fault_class!r}; expected one of {FAULT_CLASSES}"
+        )
+    if not 0.0 <= rate <= 1.0:
+        raise FaultPlanError(f"fault rate must lie in [0, 1], got {rate}")
+    if rate == 0.0:
+        return FaultPlan(seed=seed), None
+    if fault_class == "planner_outage":
+        return FaultPlan(seed=seed), {tier: rate for tier in _OUTAGE_TIERS}
+    if fault_class == "crash":
+        # rate scales the crash intensity: mtbf 8 time units at full rate.
+        injector = CrashFault(mtbf=8.0 / rate, restart_time=4.0)
+    elif fault_class == "message_loss":
+        injector = MessageLossFault(prob=rate)
+    elif fault_class == "message_delay":
+        injector = MessageDelayFault(prob=rate, delay_mean=2.0)
+    elif fault_class == "overhead_jitter":
+        injector = OverheadJitterFault(sigma=1.5 * rate)
+    elif fault_class == "result_corruption":
+        injector = ResultCorruptionFault(prob=rate)
+    else:  # life_drift
+        injector = LifeDriftFault(at_fraction=0.25, scale=1.0 - 0.95 * rate)
+    return FaultPlan(seed=seed, injectors=(injector,)), None
+
+
+def run_chaos_cell(
+    fault_class: str,
+    rate: float,
+    seed: int,
+    config: ChaosConfig = ChaosConfig(),
+    plan_cache: Optional[PlanCache] = None,
+) -> ChaosCell:
+    """Run one cell: full resilient stack under one fault class at one rate.
+
+    ``plan_cache`` may be shared across cells — the planner's queries are
+    content-addressed and deterministic, so cache state never changes an
+    answer, only its latency.
+    """
+    plan, tier_rates = build_fault_plan(fault_class, rate, seed)
+    chaos = None if tier_rates is None else TierChaos(tier_rates, seed=seed)
+    # The breakers tick on planner calls, not wall-clock time: the whole
+    # cell — including breaker opens and half-open probes — is then a
+    # deterministic function of (class, rate, seed).
+    ticks = [0.0]
+    server = PlanServer(
+        cache=plan_cache, chaos=chaos,
+        breaker_cooldown=8.0, clock=lambda: ticks[0],
+    )
+
+    def planner(info: EpisodeInfo) -> Schedule:
+        ticks[0] += 1.0
+        return server.serve("uniform", config.c, config.lifespan).schedule
+
+    life = UniformRisk(config.lifespan)
+    network = Network(
+        [
+            Workstation(i, OwnerProcess.from_life_function(life, config.present_mean))
+            for i in range(config.n_ws)
+        ],
+        c=config.c,
+    )
+    pool = TaskPool(
+        Task(i, config.task_duration) for i in range(config.n_tasks)
+    )
+    policies: list[DegradedModePolicy] = []
+
+    def policy_factory(ws: Workstation) -> DegradedModePolicy:
+        policy = DegradedModePolicy(planner)
+        policies.append(policy)
+        return policy
+
+    result = run_farm(
+        network,
+        pool,
+        policy_factory,
+        horizon=config.horizon,
+        rng=np.random.default_rng(seed),
+        faults=plan,
+        retry=RetryPolicy(),
+    )
+    assert result.fault_log is not None
+    return ChaosCell(
+        fault_class=fault_class,
+        rate=float(rate),
+        seed=int(seed),
+        goodput=result.goodput,
+        work_done=result.total_work_done,
+        work_lost=result.total_work_lost,
+        overhead_paid=result.total_overhead,
+        episodes=sum(s.episodes for s in result.stats.values()),
+        periods_committed=sum(s.periods_committed for s in result.stats.values()),
+        periods_killed=sum(s.periods_killed for s in result.stats.values()),
+        crashes=result.total_crashes,
+        dispatches_lost=result.total_dispatches_lost,
+        retries=sum(s.retries for s in result.stats.values()),
+        periods_corrupted=result.total_periods_corrupted,
+        events_processed=result.events_processed,
+        fault_digest=result.fault_log.digest(),
+        fault_counts=result.fault_log.counts(),
+        planner_served=sum(p.planner_served for p in policies),
+        planner_failures=sum(p.planner_failures for p in policies),
+        degraded_episodes=sum(p.degraded_episodes for p in policies),
+        serving=server.stats_dict(),
+    )
+
+
+def chaos_matrix(
+    classes: Optional[Sequence[str]] = None,
+    rates: Sequence[float] = (0.0, 0.45, 0.9),
+    seeds: Sequence[int] = (0, 1, 2),
+    config: Optional[ChaosConfig] = None,
+    quick: bool = False,
+    monotone_tol: float = 0.05,
+) -> dict[str, Any]:
+    """Sweep ``classes x rates x seeds`` and summarize goodput degradation.
+
+    The summary marks one fault class ``monotone`` when its seed-averaged
+    goodput is non-increasing in the rate up to a relative ``monotone_tol``
+    (sampling noise allowance), and ``degrades`` when the highest-rate
+    goodput falls strictly below the zero-rate baseline.
+
+    ``quick`` swaps in :data:`QUICK_CONFIG` (shorter horizon) and a single
+    seed — the tier-1 smoke configuration.
+    """
+    if classes is None:
+        classes = FAULT_CLASSES
+    unknown = sorted(set(classes) - set(FAULT_CLASSES))
+    if unknown:
+        raise FaultPlanError(f"unknown fault classes {unknown}")
+    if len(rates) < 2 or sorted(rates) != list(rates):
+        raise FaultPlanError(f"rates must be increasing with >= 2 points, got {rates}")
+    if quick:
+        config = QUICK_CONFIG if config is None else config
+        seeds = tuple(seeds)[:1]
+    elif config is None:
+        config = ChaosConfig()
+
+    plan_cache = PlanCache(maxsize=64)  # shared: the planner query is identical
+    cells: list[ChaosCell] = []
+    for fault_class in classes:
+        for rate in rates:
+            for seed in seeds:
+                cells.append(
+                    run_chaos_cell(fault_class, rate, seed, config, plan_cache)
+                )
+
+    summary: dict[str, Any] = {}
+    for fault_class in classes:
+        means = []
+        for rate in rates:
+            values = [
+                c.goodput
+                for c in cells
+                if c.fault_class == fault_class and c.rate == rate
+            ]
+            means.append(float(np.mean(values)))
+        monotone = all(
+            means[i + 1] <= means[i] * (1.0 + monotone_tol)
+            for i in range(len(means) - 1)
+        )
+        summary[fault_class] = {
+            "rates": [float(r) for r in rates],
+            "mean_goodput": means,
+            "monotone": bool(monotone),
+            "degrades": bool(means[-1] < means[0]),
+        }
+    return {
+        "config": config.as_dict(),
+        "rates": [float(r) for r in rates],
+        "seeds": [int(s) for s in seeds],
+        "monotone_tol": monotone_tol,
+        "cells": [c.as_dict() for c in cells],
+        "summary": summary,
+    }
+
+
+def report_to_json(report: dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write a chaos-matrix report as an indented JSON artifact."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -16,6 +16,7 @@ Two error models are provided, matching how estimates actually go wrong:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -52,12 +53,25 @@ def misestimation_ratio(
     """Efficiency retained when scheduling with ``p_hat`` against ``p_true``.
 
     Returns ``(ratio, t0_used)`` where ``ratio = E_true(S_hat) / E_true(S*)``.
+
+    When the true-optimal expected work is zero (no schedule can bank
+    anything — e.g. the overhead ``c`` meets or exceeds the usable
+    lifespan), no efficiency can be retained: the ratio is reported as
+    ``0.0`` with a :class:`RuntimeWarning` rather than dividing by zero.
     """
     schedule_hat = guideline_schedule(p_hat, c, grid=65).schedule
     achieved = schedule_hat.expected_work(p_true, c)
     if optimal_work is None:
         optimal_work = optimize_schedule(p_true, c).expected_work
-    ratio = achieved / optimal_work if optimal_work > 0 else 1.0
+    if optimal_work <= 0:
+        warnings.warn(
+            f"true-optimal expected work is {optimal_work} (c={c} leaves no "
+            "productive schedule); reporting misestimation ratio 0.0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 0.0, float(schedule_hat.periods[0])
+    ratio = achieved / optimal_work
     return ratio, float(schedule_hat.periods[0])
 
 

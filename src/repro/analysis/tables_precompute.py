@@ -420,6 +420,46 @@ class TableServer:
         self.counters["seconds"] += time.perf_counter() - start
         return answer
 
+    def serve_from_table(
+        self,
+        family: str,
+        c: float,
+        param_value: float,
+        polish: bool = True,
+    ) -> PlanAnswer:
+        """Serve **strictly** from the precomputed table — no optimizer fallback.
+
+        The table tier of the resilient serving chain
+        (:class:`repro.core.serving.PlanServer`) needs tier isolation: a
+        query the table cannot answer must *raise* so the chain can fall
+        through, rather than silently invoking the optimizer.
+
+        Raises
+        ------
+        CycleStealingError
+            When the family has no (loadable) table, ``(c, θ)`` lies outside
+            its bounds, or the containing cell has missing corners.
+        """
+        import time
+
+        start = time.perf_counter()
+        table = self.table(family)
+        if table is None:
+            raise CycleStealingError(
+                f"no precomputed table for family {family!r} "
+                f"(cache_dir={self.cache_dir})"
+            )
+        if not table.contains(c, param_value):
+            raise CycleStealingError(
+                f"query (c={c}, {table.param_name}={param_value}) lies outside "
+                f"the {family!r} table bounds"
+            )
+        p = make_family_life(family, param_value, dict(table.fixed))
+        answer = self._serve_from_table(table, p, family, c, param_value, polish)
+        self.counters["table"] += 1
+        self.counters["seconds"] += time.perf_counter() - start
+        return answer
+
     def _serve_from_table(
         self,
         table: GuidelineTable,

@@ -15,14 +15,18 @@ all plug into the same discrete-event farm (:mod:`repro.now.farm`):
 * :class:`RandomizedDoublingPolicy` — a simplified stand-in for [2]'s
   randomized commitment strategy (geometric sizes, random phase);
 * :class:`OmniscientPolicy` — clairvoyant upper bound: it reads the episode's
-  actual reclaim time and ships exactly one maximal period.
+  actual reclaim time and ships exactly one maximal period;
+* :class:`DegradedModePolicy` — the resilient serving wrapper: consult an
+  external planner (e.g. a :class:`~repro.core.serving.PlanServer`) per
+  episode, and when it is unreachable fall back to the closed-form Theorem
+  3.2 guideline bound on ``t_0``, behind an episode-count circuit breaker.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Protocol, runtime_checkable
+from typing import Callable, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -30,6 +34,7 @@ from ..core.guidelines import guideline_schedule
 from ..core.life_functions import LifeFunction
 from ..core.progressive import ProgressiveScheduler
 from ..core.schedule import Schedule
+from ..core.t0_bounds import lower_bound_t0
 from ..exceptions import CycleStealingError
 
 __all__ = [
@@ -43,6 +48,7 @@ __all__ = [
     "AllInOnePolicy",
     "RandomizedDoublingPolicy",
     "OmniscientPolicy",
+    "DegradedModePolicy",
 ]
 
 
@@ -267,6 +273,114 @@ class RandomizedDoublingPolicy:
         t = self._next
         self._next *= self.factor
         return t if t > self._c else None
+
+
+class DegradedModePolicy:
+    """Serve an external planner's schedule; degrade gracefully when it fails.
+
+    The production pattern: the master asks a remote planning service (the
+    :class:`~repro.core.serving.PlanServer` fallback chain, a warm plan
+    cache, or any callable mapping an :class:`EpisodeInfo` to a
+    :class:`~repro.core.schedule.Schedule`) for each episode's schedule.
+    When the planner raises — injected outage, corrupt table, network
+    partition — the policy does **not** dispatch blind: it falls back to the
+    closed-form guideline anchor, a single conservative period at Theorem
+    3.2's lower bound on the optimal ``t_0`` (inequality 3.7).  That bound
+    needs only one cheap fixed-point evaluation of the life estimate, is
+    provably no longer than the optimal initial period, and therefore banks
+    positive expected work whenever any schedule can.
+
+    An episode-count circuit breaker keeps a dead planner from being hammered
+    every episode: after ``max_planner_failures`` *consecutive* failures the
+    breaker opens and the policy serves the fallback for
+    ``cooldown_episodes`` episodes, then lets one probe call through
+    (half-open); a success closes the breaker again.
+
+    Counters (``planner_served``, ``planner_failures``, ``degraded_episodes``,
+    ``undispatched_episodes``) expose the degradation mix for chaos reports.
+    """
+
+    def __init__(
+        self,
+        planner: Callable[[EpisodeInfo], Schedule],
+        max_planner_failures: int = 3,
+        cooldown_episodes: int = 8,
+    ) -> None:
+        if max_planner_failures < 1:
+            raise ValueError(
+                f"max_planner_failures must be >= 1, got {max_planner_failures}"
+            )
+        if cooldown_episodes < 1:
+            raise ValueError(f"cooldown_episodes must be >= 1, got {cooldown_episodes}")
+        self.planner = planner
+        self.max_planner_failures = int(max_planner_failures)
+        self.cooldown_episodes = int(cooldown_episodes)
+        self._inner: Optional[SchedulePolicy] = None
+        self._consecutive_failures = 0
+        self._cooldown_remaining = 0
+        # Theorem 3.2 bound per (life id, c): the estimate is fixed across
+        # episodes, so the fixed-point solve runs once per estimate.
+        self._t0_bound_cache: dict[tuple[int, float], Optional[float]] = {}
+        self.planner_served = 0
+        self.planner_failures = 0
+        self.degraded_episodes = 0
+        self.undispatched_episodes = 0
+
+    @property
+    def breaker_open(self) -> bool:
+        """Whether the planner breaker is currently open (cooling down)."""
+        return self._cooldown_remaining > 0
+
+    def _fallback_t0(self, info: EpisodeInfo) -> Optional[float]:
+        if info.life is None:
+            return None
+        key = (id(info.life), info.c)
+        if key not in self._t0_bound_cache:
+            try:
+                t0 = lower_bound_t0(info.life, info.c)
+            except CycleStealingError:
+                t0 = None
+            else:
+                lifespan = info.life.lifespan
+                if math.isfinite(lifespan):
+                    t0 = min(t0, lifespan * (1.0 - 1e-12))
+                if t0 <= info.c:
+                    t0 = None
+            self._t0_bound_cache[key] = t0
+        return self._t0_bound_cache[key]
+
+    def start_episode(self, info: EpisodeInfo) -> None:
+        self._inner = None
+        schedule: Optional[Schedule] = None
+        if self._cooldown_remaining > 0:
+            self._cooldown_remaining -= 1  # breaker open: skip the planner
+        else:
+            try:
+                schedule = self.planner(info)
+            except Exception:
+                self.planner_failures += 1
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.max_planner_failures:
+                    self._cooldown_remaining = self.cooldown_episodes
+                    self._consecutive_failures = 0
+            else:
+                self._consecutive_failures = 0
+        if schedule is not None:
+            self.planner_served += 1
+        else:
+            t0 = self._fallback_t0(info)
+            if t0 is None:
+                self.undispatched_episodes += 1
+                return
+            self.degraded_episodes += 1
+            schedule = Schedule([t0])
+        self._inner = SchedulePolicy(schedule)
+        self._inner.start_episode(info)
+
+    def next_period(self, elapsed: float) -> Optional[float]:
+        if self._inner is None:
+            return None
+        return self._inner.next_period(elapsed)
 
 
 class OmniscientPolicy:

@@ -25,6 +25,11 @@ Commands
     ``t0*``/``E*`` tables, ``query`` serves a schedule from the tables
     (optimizer fallback outside bounds), ``stats`` reports cache contents,
     ``clear`` empties the disk tier.
+``chaos``
+    Run the fault-matrix sweep (every fault class x a rate grid x seeds)
+    through the resilient farm + serving stack, print the goodput
+    degradation summary, and optionally write the ``BENCH_chaos.json``
+    artifact via ``--out``.
 
 ``compare`` and ``t0opt`` accept ``--cache-dir`` to ride the plan cache:
 repeated invocations for the same family instance are answered from disk.
@@ -42,6 +47,8 @@ Examples
     python -m repro plancache warm --family uniform --grid-points 9
     python -m repro plancache query --family uniform --c 2.4 --value 333
     python -m repro plancache stats
+    python -m repro chaos --quick
+    python -m repro chaos --out BENCH_chaos.json --rates 0 0.45 0.9
 """
 
 from __future__ import annotations
@@ -174,6 +181,20 @@ def build_parser() -> argparse.ArgumentParser:
     pc_clear.add_argument("--cache-dir", default=None)
     pc_clear.add_argument("--tables", action="store_true",
                           help="also delete the precomputed tables")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-matrix sweep: goodput under injected faults")
+    p_chaos.add_argument("--out", default=None,
+                         help="write the JSON report here (e.g. BENCH_chaos.json)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="short horizon, one seed (the tier-1 smoke config)")
+    p_chaos.add_argument("--classes", nargs="+", default=None,
+                         help="fault classes to sweep (default: all)")
+    p_chaos.add_argument("--rates", nargs="+", type=float,
+                         default=[0.0, 0.45, 0.9],
+                         help="increasing fault rates in [0, 1] (default: 0 0.45 0.9)")
+    p_chaos.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2],
+                         help="cell seeds to average over (default: 0 1 2)")
     return parser
 
 
@@ -366,6 +387,35 @@ def _cmd_plancache(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown plancache action {args.action}")  # pragma: no cover
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import time
+
+    from .analysis.chaos import chaos_matrix, report_to_json
+
+    start = time.perf_counter()
+    report = chaos_matrix(
+        classes=args.classes, rates=args.rates, seeds=args.seeds, quick=args.quick
+    )
+    elapsed = time.perf_counter() - start
+    rows = [
+        [fc, ", ".join(f"{g:.3f}" for g in s["mean_goodput"]),
+         "yes" if s["monotone"] else "NO",
+         "yes" if s["degrades"] else "NO"]
+        for fc, s in report["summary"].items()
+    ]
+    rate_label = "goodput @ " + ", ".join(f"{r:g}" for r in report["rates"])
+    print(format_table(["fault class", rate_label, "monotone", "degrades"], rows,
+                       title=f"chaos matrix ({len(report['cells'])} cells, "
+                             f"{elapsed:.1f}s)"))
+    if args.out is not None:
+        path = report_to_json(report, args.out)
+        print(f"wrote {path}")
+    healthy = all(
+        s["monotone"] and s["degrades"] for s in report["summary"].values()
+    )
+    return 0 if healthy else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit status."""
     args = build_parser().parse_args(argv)
@@ -381,6 +431,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_t0opt(args)
     if args.command == "plancache":
         return _cmd_plancache(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
 
 

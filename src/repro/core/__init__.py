@@ -84,6 +84,13 @@ from .recurrence import (
     satisfies_recurrence,
 )
 from .schedule import Schedule, expected_work, truncate_infinite
+from .serving import (
+    CircuitBreaker,
+    PlanServer,
+    ServedPlan,
+    TierChaos,
+    TierStats,
+)
 from .structure import (
     StructureReport,
     period_decrements,
@@ -150,6 +157,8 @@ __all__ = [
     # plan cache
     "PlanCache", "CacheStats", "plan_key", "CACHE_SCHEMA_VERSION",
     "default_plan_cache", "default_cache_dir", "reset_default_plan_cache",
+    # resilient serving chain
+    "PlanServer", "ServedPlan", "CircuitBreaker", "TierStats", "TierChaos",
     # greedy / progressive
     "greedy_schedule", "greedy_next_period",
     "ProgressiveScheduler", "progressive_schedule",

@@ -237,6 +237,43 @@ class PlanCache:
                 pass  # an unwritable disk tier must never fail the query
         return value
 
+    def peek(
+        self,
+        key: Optional[str],
+        from_payload: Optional[Callable[[dict], Any]] = None,
+    ) -> Optional[Any]:
+        """Serve ``key`` from memory or disk **without ever computing**.
+
+        The warm-only lookup used by the serving fallback chain's cache tier:
+        a hit behaves exactly like :meth:`get_or_compute` (LRU touch, disk
+        promotion, hit counters) but a miss returns ``None`` and is *not*
+        counted in :attr:`CacheStats.misses` (nothing was recomputed).
+        """
+        if key is None:
+            self.stats.uncacheable += 1
+            return None
+        start = time.perf_counter()
+        with self._lock:
+            if key in self._mem:
+                self._mem.move_to_end(key)
+                value = self._mem[key]
+                self.stats.hits += 1
+                self.stats.hit_seconds += time.perf_counter() - start
+                return value
+        if from_payload is not None:
+            payload = self._disk_read(key)
+            if payload is not None:
+                try:
+                    value = from_payload(payload)
+                except (CycleStealingError, KeyError, TypeError, ValueError):
+                    self.stats.corrupt_loads += 1
+                else:
+                    self._mem_put(key, value)
+                    self.stats.disk_hits += 1
+                    self.stats.hit_seconds += time.perf_counter() - start
+                    return value
+        return None
+
     def _mem_put(self, key: str, value: Any) -> None:
         with self._lock:
             self._mem[key] = value
@@ -341,6 +378,20 @@ class PlanCache:
 
 _default_lock = threading.Lock()
 _default_cache: Optional[PlanCache] = None
+#: Directories that failed the writability probe (warn + re-probe avoidance).
+_unwritable_dirs: set[Path] = set()
+
+
+def _probe_writable(path: Path) -> bool:
+    """Whether ``path`` can be created and written (one tiny probe file)."""
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path, suffix=".probe")
+        os.close(fd)
+        os.unlink(tmp)
+        return True
+    except OSError:
+        return False
 
 
 def default_plan_cache(
@@ -352,10 +403,32 @@ def default_plan_cache(
     ``cache_dir`` replace the singleton (sweep workers pass their pool's
     directory explicitly, so a worker process always converges on the
     directory its sweep was launched with).
+
+    When the requested directory (typically ``$REPRO_CACHE_DIR`` or the XDG
+    default via :func:`default_cache_dir`) is read-only or cannot be
+    created, the cache degrades to **memory-only** with a one-time
+    :class:`RuntimeWarning` instead of raising — an unwritable disk must
+    never take plan serving down.
     """
     global _default_cache
     wanted = Path(cache_dir) if cache_dir is not None else None
     with _default_lock:
+        if wanted in _unwritable_dirs:
+            wanted = None
+        elif wanted is not None and (
+            _default_cache is None or _default_cache.cache_dir != wanted
+        ):
+            if not _probe_writable(wanted):
+                _unwritable_dirs.add(wanted)
+                import warnings
+
+                warnings.warn(
+                    f"plan cache directory {wanted} is not writable; "
+                    "degrading to a memory-only plan cache",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                wanted = None
         if _default_cache is None or (
             wanted is not None and _default_cache.cache_dir != wanted
         ):
@@ -368,3 +441,4 @@ def reset_default_plan_cache() -> None:
     global _default_cache
     with _default_lock:
         _default_cache = None
+        _unwritable_dirs.clear()

@@ -1,0 +1,527 @@
+"""Resilient plan serving: a degradation-aware fallback chain with breakers.
+
+The serving stack built so far answers "what schedule should workstation i
+run?" through increasingly expensive sources: a precomputed guideline table
+(:class:`~repro.analysis.tables_precompute.TableServer`), the warm plan cache
+(:class:`~repro.core.plancache.PlanCache`), the full ``t_0`` optimizer, and —
+when everything else is down — the paper's closed-form Section 4 brackets,
+which need nothing but arithmetic.  :class:`PlanServer` formalizes that chain
+
+    table  →  warm cache  →  optimizer  →  guideline closed-form
+
+with per-tier *circuit breakers* (a tier that keeps erroring is skipped for a
+cooldown, then probed half-open) and per-tier latency / outcome counters
+(:class:`TierStats`, extending :class:`~repro.core.plancache.CacheStats`).
+
+Two kinds of non-answers are deliberately distinct:
+
+* a **miss** — the tier is healthy but cannot answer (cold cache, absent
+  table, query outside table bounds).  Misses fall through to the next tier
+  and do *not* trip the breaker.
+* an **error** — the tier misbehaved (an injected
+  :class:`~repro.exceptions.FaultInjectionError` from :class:`TierChaos`, an
+  unexpected exception).  Errors fall through *and* count toward opening the
+  tier's breaker.
+
+The guideline tier is the designed last resort: Theorems 3.2/3.3 and the
+Section 4 brackets pin ``t_0`` in closed form, so a valid (if suboptimal)
+schedule survives a total outage of every data-backed tier.  Only when even
+that fails does :meth:`PlanServer.serve` raise
+:class:`~repro.exceptions.PlanServingError`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from ..exceptions import (
+    CycleStealingError,
+    FaultInjectionError,
+    PlanServingError,
+)
+from .life_functions import LifeFunction
+from .optimizer import optimize_t0_via_recurrence
+from .plancache import CacheStats, PlanCache, plan_key
+from .recurrence import generate_schedule
+from .schedule import Schedule
+from .t0_bounds import (
+    geometric_decreasing_bracket,
+    geometric_increasing_window,
+    lower_bound_t0,
+    polynomial_bracket,
+    uniform_bracket,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "CircuitBreaker",
+    "TierStats",
+    "TierChaos",
+    "ServedPlan",
+    "PlanServer",
+]
+
+#: Breaker state: requests flow normally.
+BREAKER_CLOSED = "closed"
+#: Breaker state: the tier is skipped until the cooldown elapses.
+BREAKER_OPEN = "open"
+#: Breaker state: cooldown elapsed; probe requests are let through.
+BREAKER_HALF_OPEN = "half_open"
+
+
+class _TierMiss(CycleStealingError):
+    """Internal: a healthy tier could not answer (falls through, no breaker)."""
+
+
+class CircuitBreaker:
+    """A per-tier circuit breaker: open after K consecutive failures.
+
+    States follow the classic pattern: ``closed`` (requests flow; K
+    consecutive failures open the breaker), ``open`` (requests are rejected
+    until ``cooldown`` seconds pass), ``half_open`` (one or more probe
+    requests flow; a success closes the breaker, a failure re-opens it and
+    restarts the cooldown).
+
+    ``clock`` is injectable (defaults to :func:`time.monotonic`) so tests and
+    the chaos harness can drive the cooldown deterministically.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock if clock is not None else time.monotonic
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: Lifetime counters: transitions into ``open`` / rejected requests.
+        self.opens = 0
+        self.rejections = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for an elapsed cooldown."""
+        if self._state == BREAKER_OPEN and (
+            self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = BREAKER_HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success (resets on success)."""
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """Whether a request may proceed; counts rejections when not."""
+        if self.state == BREAKER_OPEN:
+            self.rejections += 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """A request succeeded: reset failures; a half-open probe closes."""
+        self._consecutive_failures = 0
+        self._state = BREAKER_CLOSED
+
+    def record_failure(self) -> None:
+        """A request failed: count it; at threshold (or half-open) open up."""
+        self._consecutive_failures += 1
+        if (
+            self._state == BREAKER_HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            if self._state != BREAKER_OPEN:
+                self.opens += 1
+            self._state = BREAKER_OPEN
+            self._opened_at = self._clock()
+
+    def as_dict(self) -> dict[str, Any]:
+        """State + counters, JSON-ready."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "opens": self.opens,
+            "rejections": self.rejections,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker(state={self.state!r}, opens={self.opens})"
+
+
+@dataclass
+class TierStats(CacheStats):
+    """Per-tier serving counters: :class:`CacheStats` plus error accounting.
+
+    For a serving tier the inherited fields read as: ``hits`` — queries this
+    tier answered; ``misses`` — healthy fall-throughs (cold cache, absent
+    table); ``hit_seconds`` / ``miss_seconds`` — time spent on each.  The
+    extensions count the unhealthy paths.
+    """
+
+    errors: int = 0  #: tier raised (injected fault or unexpected exception)
+    rejected: int = 0  #: requests short-circuited by an open breaker
+    error_seconds: float = 0.0  #: time spent inside failing tier calls
+
+    def as_dict(self) -> dict[str, Any]:
+        """All counters, JSON-ready."""
+        out = super().as_dict()
+        out.update(
+            errors=self.errors,
+            rejected=self.rejected,
+            error_seconds=self.error_seconds,
+        )
+        return out
+
+
+class TierChaos:
+    """Seeded fault injector for the serving chain (chaos testing).
+
+    ``rates`` maps tier names to failure probabilities in ``[0, 1]``.  When
+    :meth:`maybe_fail` fires it raises
+    :class:`~repro.exceptions.FaultInjectionError` naming the tier, which
+    :class:`PlanServer` counts as a tier *error* (breaker-tripping).  Draws
+    come from a dedicated seeded stream, so a chaos run is reproducible from
+    ``(seed, rates)`` alone.
+    """
+
+    #: Stream tag keeping chaos draws disjoint from fault-plan streams.
+    _STREAM = 977
+
+    def __init__(self, rates: Mapping[str, float], seed: int = 0) -> None:
+        for tier, rate in rates.items():
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ValueError(
+                    f"chaos rate for tier {tier!r} must be in [0, 1], got {rate}"
+                )
+        self.rates = {str(k): float(v) for k, v in rates.items()}
+        self.seed = int(seed)
+        self._rng = np.random.default_rng([self.seed, self._STREAM])
+        self.injected: dict[str, int] = {}
+
+    def maybe_fail(self, tier: str) -> None:
+        """Raise an injected fault for ``tier`` with its configured rate."""
+        rate = self.rates.get(tier, 0.0)
+        if rate <= 0.0:
+            return
+        if self._rng.random() < rate:
+            self.injected[tier] = self.injected.get(tier, 0) + 1
+            raise FaultInjectionError(tier)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TierChaos(rates={self.rates}, seed={self.seed})"
+
+
+@dataclass(frozen=True)
+class ServedPlan:
+    """A schedule served by the chain, with provenance (which tier answered)."""
+
+    family: str
+    c: float
+    param_value: float
+    t0: float
+    schedule: Schedule
+    expected_work: float
+    #: The answering tier: ``"table"``/``"cache"``/``"optimizer"``/``"guideline"``.
+    source: str
+    termination: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the plan came from the closed-form last-resort tier."""
+        return self.source == "guideline"
+
+
+class PlanServer:
+    """Serve schedules through the table → cache → optimizer → guideline chain.
+
+    Parameters
+    ----------
+    table_server:
+        A :class:`~repro.analysis.tables_precompute.TableServer` (or ``None``
+        to disable the table tier).  Only its strict
+        ``serve_from_table(family, c, param_value)`` method is used.
+    cache:
+        The warm :class:`~repro.core.plancache.PlanCache` probed by the cache
+        tier (peek-only: a cold cache is a miss, never a recompute) and
+        ridden by the optimizer tier (so optimizer answers re-warm it).
+    breaker_threshold / breaker_cooldown / clock:
+        Circuit-breaker configuration, shared by all tiers; ``clock`` is
+        injectable for deterministic tests.
+    chaos:
+        An optional :class:`TierChaos` injecting per-tier faults — the chaos
+        harness's entry point into the serving stack.
+
+    A query that *no* tier can answer raises
+    :class:`~repro.exceptions.PlanServingError`; per-tier outcomes accumulate
+    in :attr:`tier_stats` and :attr:`breakers`.
+    """
+
+    #: Tier order: cheapest-first, most-robust-last.
+    TIERS = ("table", "cache", "optimizer", "guideline")
+
+    #: Defaults matching ``optimize_t0_via_recurrence`` so the cache tier
+    #: peeks the same content-addressed key the optimizer writes.
+    _SEARCH_GRID = 129
+    _SEARCH_WIDEN = 1.5
+    _SEARCH_ENGINE = "batch"
+
+    def __init__(
+        self,
+        table_server: Optional[Any] = None,
+        cache: Optional[PlanCache] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+        chaos: Optional[TierChaos] = None,
+    ) -> None:
+        self.table_server = table_server
+        self.cache = cache
+        self.chaos = chaos
+        self.breakers: dict[str, CircuitBreaker] = {
+            tier: CircuitBreaker(breaker_threshold, breaker_cooldown, clock)
+            for tier in self.TIERS
+        }
+        self.tier_stats: dict[str, TierStats] = {
+            tier: TierStats() for tier in self.TIERS
+        }
+        self.served = 0  #: queries answered by some tier
+        self.exhausted = 0  #: queries for which every tier failed
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def serve(self, family: str, c: float, param_value: float) -> ServedPlan:
+        """A valid schedule for family ``(c, θ)`` from the first able tier."""
+        p = self._family_life(family, param_value)
+        last_error: Optional[BaseException] = None
+        for tier in self.TIERS:
+            breaker = self.breakers[tier]
+            stats = self.tier_stats[tier]
+            if not breaker.allow():
+                stats.rejected += 1
+                continue
+            start = time.perf_counter()
+            try:
+                if self.chaos is not None:
+                    self.chaos.maybe_fail(tier)
+                plan = self._serve_tier(tier, p, family, c, param_value)
+            except _TierMiss:
+                stats.misses += 1
+                stats.miss_seconds += time.perf_counter() - start
+                breaker.record_success()  # healthy response, just no answer
+            except Exception as exc:  # injected faults + genuine tier bugs
+                stats.errors += 1
+                stats.error_seconds += time.perf_counter() - start
+                breaker.record_failure()
+                last_error = exc
+            else:
+                stats.hits += 1
+                stats.hit_seconds += time.perf_counter() - start
+                breaker.record_success()
+                self.served += 1
+                return plan
+        self.exhausted += 1
+        raise PlanServingError(
+            f"every serving tier failed for family={family!r} c={c} "
+            f"param={param_value}"
+        ) from last_error
+
+    def stats_dict(self) -> dict[str, Any]:
+        """Chain-wide counters + per-tier stats and breaker states, JSON-ready."""
+        return {
+            "served": self.served,
+            "exhausted": self.exhausted,
+            "tiers": {t: self.tier_stats[t].as_dict() for t in self.TIERS},
+            "breakers": {t: self.breakers[t].as_dict() for t in self.TIERS},
+        }
+
+    def reset_breakers(self) -> None:
+        """Force every breaker back to ``closed`` (recovery drills)."""
+        for tier, breaker in self.breakers.items():
+            self.breakers[tier] = CircuitBreaker(
+                breaker.failure_threshold, breaker.cooldown, breaker._clock
+            )
+
+    # ------------------------------------------------------------------
+    # Tiers
+    # ------------------------------------------------------------------
+
+    def _serve_tier(
+        self, tier: str, p: LifeFunction, family: str, c: float, param_value: float
+    ) -> ServedPlan:
+        if tier == "table":
+            return self._tier_table(family, c, param_value)
+        if tier == "cache":
+            return self._tier_cache(p, family, c, param_value)
+        if tier == "optimizer":
+            return self._tier_optimizer(p, family, c, param_value)
+        if tier == "guideline":
+            return self._tier_guideline(p, family, c, param_value)
+        raise PlanServingError(f"unknown serving tier {tier!r}")
+
+    def _tier_table(self, family: str, c: float, param_value: float) -> ServedPlan:
+        """Interpolate + polish from the precomputed guideline table."""
+        if self.table_server is None:
+            raise _TierMiss("no table server configured")
+        try:
+            answer = self.table_server.serve_from_table(family, c, param_value)
+        except CycleStealingError as exc:
+            # Absent table / out-of-bounds query / NaN cell: the table tier
+            # is healthy but cannot answer — fall through without tripping.
+            raise _TierMiss(str(exc)) from exc
+        return ServedPlan(
+            family=family, c=c, param_value=param_value, t0=answer.t0,
+            schedule=answer.schedule, expected_work=answer.expected_work,
+            source="table", termination=answer.termination,
+        )
+
+    def _tier_cache(
+        self, p: LifeFunction, family: str, c: float, param_value: float
+    ) -> ServedPlan:
+        """Peek the warm plan cache at the optimizer's content address."""
+        if self.cache is None:
+            raise _TierMiss("no plan cache configured")
+        fingerprint = PlanCache.fingerprint_of(p)
+        if fingerprint is None:
+            raise _TierMiss("life function is not content-addressable")
+        key = plan_key(
+            "t0opt", fingerprint, c,
+            bracket=None, grid=self._SEARCH_GRID,
+            widen=self._SEARCH_WIDEN, engine=self._SEARCH_ENGINE,
+        )
+        from .. import io as _io  # deferred: repro.io imports core modules
+
+        cached = self.cache.peek(key, from_payload=_io.t0_search_from_dict)
+        if cached is None:
+            raise _TierMiss("plan cache is cold for this query")
+        t0, outcome, ew = cached
+        return ServedPlan(
+            family=family, c=c, param_value=param_value, t0=t0,
+            schedule=outcome.schedule, expected_work=ew,
+            source="cache", termination=outcome.termination.value,
+        )
+
+    def _tier_optimizer(
+        self, p: LifeFunction, family: str, c: float, param_value: float
+    ) -> ServedPlan:
+        """Run the full ``t_0`` search (re-warming the cache when present)."""
+        try:
+            t0, outcome, ew = optimize_t0_via_recurrence(
+                p, c,
+                grid=self._SEARCH_GRID, widen=self._SEARCH_WIDEN,
+                engine=self._SEARCH_ENGINE, cache=self.cache,
+            )
+        except CycleStealingError as exc:
+            raise _TierMiss(str(exc)) from exc
+        return ServedPlan(
+            family=family, c=c, param_value=param_value, t0=t0,
+            schedule=outcome.schedule, expected_work=ew,
+            source="optimizer", termination=outcome.termination.value,
+        )
+
+    def _tier_guideline(
+        self, p: LifeFunction, family: str, c: float, param_value: float
+    ) -> ServedPlan:
+        """Closed-form Section 4 bracket → recurrence; Theorem 3.2 last resort.
+
+        Needs no tables, no cache, no search — only arithmetic on ``(c, θ)``
+        plus (in the happy path) one deterministic recurrence walk, so it
+        stays serviceable through a total outage of the data-backed tiers.
+        """
+        t0 = self._closed_form_t0(family, c, param_value)
+        schedule: Optional[Schedule] = None
+        termination = ""
+        if t0 is not None:
+            t0 = self._clamp_t0(p, c, t0)
+        if t0 is not None:
+            try:
+                outcome = generate_schedule(p, c, t0)
+            except CycleStealingError:
+                schedule = Schedule([t0])  # single conservative period
+            else:
+                schedule = outcome.schedule
+                termination = outcome.termination.value
+        if schedule is None:
+            # No closed form for this family (or degenerate bracket): the
+            # Theorem 3.2 bound still yields one productive period.
+            t0 = self._clamp_t0(p, c, lower_bound_t0(p, c))
+            if t0 is None:
+                raise _TierMiss(
+                    f"no productive closed-form period exists for c={c} "
+                    f"(overhead at or above the usable lifespan)"
+                )
+            schedule = Schedule([t0])
+        ew = schedule.expected_work(p, c)
+        return ServedPlan(
+            family=family, c=c, param_value=param_value, t0=float(t0),
+            schedule=schedule, expected_work=ew,
+            source="guideline", termination=termination,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _family_life(family: str, param_value: float) -> LifeFunction:
+        from ..analysis.tables_precompute import (  # deferred: analysis imports core
+            TABLE_FAMILIES,
+            make_family_life,
+        )
+
+        fixed = TABLE_FAMILIES.get(family, (None, {}))[1]
+        return make_family_life(family, param_value, fixed)
+
+    @staticmethod
+    def _closed_form_t0(family: str, c: float, param_value: float) -> Optional[float]:
+        """The Section 4 closed-form guideline ``t_0`` for one family.
+
+        Finite-lifespan families use the bracket's lower bound (conservative:
+        shorter periods risk less work per owner return); the
+        geometric-decreasing family uses the Lemma 3.1 ceiling, which
+        Section 4.2 shows is remarkably close to the true optimum.
+        """
+        try:
+            if family == "uniform":
+                return uniform_bracket(param_value, c).lo
+            if family == "poly":
+                return polynomial_bracket(3, param_value, c).lo
+            if family == "geomdec":
+                return geometric_decreasing_bracket(param_value, c).hi
+            if family == "geominc":
+                return geometric_increasing_window(param_value, c).lo
+        except ValueError:
+            return None
+        return None
+
+    @staticmethod
+    def _clamp_t0(p: LifeFunction, c: float, t0: float) -> Optional[float]:
+        """Clamp a guideline ``t0`` into the productive band ``(c, L)``."""
+        if not math.isfinite(t0):
+            return None
+        if math.isfinite(p.lifespan):
+            t0 = min(t0, p.lifespan * (1 - 1e-12))
+        if t0 <= c:
+            t0 = c * (1 + 1e-9) + 1e-12
+            if math.isfinite(p.lifespan) and t0 >= p.lifespan:
+                return None
+        return t0

@@ -87,5 +87,26 @@ class PlanCacheError(CycleStealingError):
     """
 
 
+class FaultPlanError(CycleStealingError):
+    """A fault-injection plan is malformed (bad probabilities, duplicates)."""
+
+
+class FaultInjectionError(CycleStealingError):
+    """An injected fault fired (chaos testing).
+
+    Raised by the serving-stack chaos hooks to simulate a tier outage; the
+    resilience machinery (circuit breakers, fallback chains, degraded-mode
+    policies) is expected to absorb it.  ``tier`` names the injected site.
+    """
+
+    def __init__(self, tier: str, message: str | None = None) -> None:
+        super().__init__(message or f"injected fault in tier {tier!r}")
+        self.tier = tier
+
+
+class PlanServingError(CycleStealingError):
+    """Every tier of the plan-serving fallback chain failed for a query."""
+
+
 class FittingError(CycleStealingError):
     """Life-function fitting from trace data failed."""

@@ -1,0 +1,45 @@
+"""Fault injection for the NOW farm: seeded chaos, structured logs.
+
+The package turns the fault-free reproduction into a system whose
+expected-work claims can be stress-tested under injected adversity:
+
+* :class:`FaultPlan` — a seeded, composable, declarative set of injectors
+  (crash/restart, dispatch message loss and delay, per-period overhead
+  jitter, result corruption, mid-run life-function drift);
+* :class:`FaultRuntime` — the per-run live state the farm consults, with
+  independent RNG streams per fault class;
+* :class:`FaultLog` / :class:`FaultEvent` — the structured, digest-certified
+  record of every injected occurrence.
+
+Runs stay bit-reproducible from ``(seed, plan, workload)``, and a plan with
+no injectors leaves the farm bit-identical to an uninstrumented run.
+"""
+
+from .log import FaultEvent, FaultLog
+from .plan import (
+    CrashFault,
+    DispatchFate,
+    FaultPlan,
+    FaultRuntime,
+    Injector,
+    LifeDriftFault,
+    MessageDelayFault,
+    MessageLossFault,
+    OverheadJitterFault,
+    ResultCorruptionFault,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultLog",
+    "CrashFault",
+    "MessageLossFault",
+    "MessageDelayFault",
+    "OverheadJitterFault",
+    "ResultCorruptionFault",
+    "LifeDriftFault",
+    "Injector",
+    "DispatchFate",
+    "FaultPlan",
+    "FaultRuntime",
+]

@@ -1,0 +1,129 @@
+"""Tier-1 smoke of the chaos matrix (E-CHAOS runs the full grid nightly)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.chaos import (
+    FAULT_CLASSES,
+    ChaosConfig,
+    QUICK_CONFIG,
+    build_fault_plan,
+    chaos_matrix,
+    run_chaos_cell,
+)
+from repro.exceptions import FaultPlanError
+from repro.faults import CrashFault, MessageLossFault
+
+
+class TestBuildFaultPlan:
+    def test_zero_rate_is_null_plan(self):
+        for fault_class in FAULT_CLASSES:
+            plan, tier_rates = build_fault_plan(fault_class, 0.0, seed=1)
+            assert plan.is_null
+            assert tier_rates is None
+
+    def test_farm_classes_map_to_injectors(self):
+        plan, tier_rates = build_fault_plan("crash", 0.5, seed=2)
+        assert tier_rates is None
+        assert isinstance(plan.get(CrashFault), CrashFault)
+        plan, _ = build_fault_plan("message_loss", 0.3, seed=2)
+        assert plan.get(MessageLossFault).prob == 0.3
+
+    def test_planner_outage_maps_to_tier_rates(self):
+        plan, tier_rates = build_fault_plan("planner_outage", 0.7, seed=3)
+        assert plan.is_null
+        assert tier_rates == {
+            "table": 0.7, "cache": 0.7, "optimizer": 0.7, "guideline": 0.7,
+        }
+
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            build_fault_plan("meteor_strike", 0.5, seed=0)
+        with pytest.raises(FaultPlanError):
+            build_fault_plan("crash", 1.5, seed=0)
+        with pytest.raises(FaultPlanError):
+            ChaosConfig(n_ws=0)
+        with pytest.raises(FaultPlanError):
+            chaos_matrix(rates=(0.9, 0.0))
+        with pytest.raises(FaultPlanError):
+            chaos_matrix(classes=["nope"])
+
+
+class TestCellDeterminism:
+    def test_cell_reproducible_bit_for_bit(self):
+        a = run_chaos_cell("message_loss", 0.6, seed=0, config=QUICK_CONFIG)
+        b = run_chaos_cell("message_loss", 0.6, seed=0, config=QUICK_CONFIG)
+        assert a.fault_digest == b.fault_digest
+        assert a.goodput == b.goodput
+        # Everything except the serving latency timers is bit-identical.
+        da, db = a.as_dict(), b.as_dict()
+        sa, sb = da.pop("serving"), db.pop("serving")
+        assert da == db
+        assert sa["breakers"] == sb["breakers"]
+        for tier in sa["tiers"]:
+            counters_a = {
+                k: v for k, v in sa["tiers"][tier].items()
+                if not k.endswith("_seconds")
+            }
+            counters_b = {
+                k: v for k, v in sb["tiers"][tier].items()
+                if not k.endswith("_seconds")
+            }
+            assert counters_a == counters_b
+
+    def test_faulted_cell_observably_faulted(self):
+        cell = run_chaos_cell("message_loss", 0.6, seed=0, config=QUICK_CONFIG)
+        assert cell.dispatches_lost > 0
+        assert cell.retries > 0
+        assert cell.goodput > 0.0
+
+
+class TestQuickMatrix:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return chaos_matrix(quick=True)
+
+    def test_shape(self, report):
+        assert set(report["summary"]) == set(FAULT_CLASSES)
+        assert len(report["cells"]) == len(FAULT_CLASSES) * 3  # 3 rates x 1 seed
+        assert report["seeds"] == [0]
+
+    def test_stack_survives_every_cell(self, report):
+        """Acceptance: the chain keeps serving valid schedules in every cell."""
+        for cell in report["cells"]:
+            assert cell["goodput"] > 0.0, (
+                f"{cell['fault_class']}@{cell['rate']}: stack stopped serving"
+            )
+            assert cell["episodes"] > 0
+
+    def test_goodput_degrades_monotonically(self, report):
+        """Acceptance: seed-averaged goodput non-increasing in the rate."""
+        for fault_class, s in report["summary"].items():
+            assert s["monotone"], (
+                f"{fault_class}: goodput {s['mean_goodput']} not monotone"
+            )
+            assert s["degrades"], f"{fault_class}: no degradation at max rate"
+
+    def test_planner_outage_cells_degrade_to_closed_form(self, report):
+        outage = [
+            c for c in report["cells"]
+            if c["fault_class"] == "planner_outage" and c["rate"] > 0.5
+        ]
+        assert outage
+        for cell in outage:
+            assert cell["planner_failures"] + cell["degraded_episodes"] > 0
+            errors = sum(
+                t["errors"] for t in cell["serving"]["tiers"].values()
+            )
+            assert errors > 0
+
+    def test_zero_rate_cells_identical_across_classes(self, report):
+        """Rate 0 is the shared baseline: every class replays the same run."""
+        baselines = {
+            c["fault_class"]: c for c in report["cells"] if c["rate"] == 0.0
+        }
+        digests = {c["fault_digest"] for c in baselines.values()}
+        goodputs = {c["goodput"] for c in baselines.values()}
+        assert len(digests) == 1
+        assert len(goodputs) == 1

@@ -66,3 +66,21 @@ class TestSamplingError:
         assert ratios[-1] > 0.995       # 500 samples: essentially optimal
         assert ratios[-1] >= ratios[0]  # more data never hurts on average
         assert all(r > 0.7 for r in ratios)  # even 5 samples is workable
+
+
+class TestZeroOptimalWork:
+    def test_explicit_zero_optimum_warns_and_returns_zero(self):
+        p = repro.UniformRisk(50.0)
+        with pytest.warns(RuntimeWarning, match="misestimation ratio 0.0"):
+            ratio, t0 = misestimation_ratio(p, p, 1.0, optimal_work=0.0)
+        assert ratio == 0.0
+        assert t0 > 0.0
+
+    def test_unproductive_overhead_warns_instead_of_dividing(self):
+        # c equal to the true lifespan: the hat schedule exists (built from
+        # the optimistic estimate) but the true optimum banks nothing.
+        p_true = repro.UniformRisk(2.0)
+        p_hat = repro.UniformRisk(50.0)
+        with pytest.warns(RuntimeWarning):
+            ratio, _ = misestimation_ratio(p_true, p_hat, 2.0)
+        assert ratio == 0.0

@@ -275,3 +275,86 @@ class TestGuidelineStartCache:
         for t in threads:
             t.join()
         assert not errors
+
+
+class TestPeek:
+    def test_cold_peek_returns_none_without_counting_a_miss(self):
+        cache = PlanCache(maxsize=4)
+        assert cache.peek("absent") is None
+        assert cache.stats.misses == 0
+        assert cache.stats.hits == 0
+
+    def test_warm_peek_hits_memory(self):
+        cache = PlanCache(maxsize=4)
+        cache.get_or_compute("key", lambda: 41)
+        assert cache.peek("key") == 41
+        assert cache.stats.hits == 1
+
+    def test_peek_promotes_from_disk(self, tmp_path):
+        warm = PlanCache(cache_dir=tmp_path)
+        warm.get_or_compute("key", lambda: {"x": 7},
+                            to_payload=lambda v: v, from_payload=lambda d: d)
+        fresh = PlanCache(cache_dir=tmp_path)
+        assert fresh.peek("key", from_payload=lambda d: d) == {"x": 7}
+        assert fresh.stats.disk_hits == 1
+        # Promoted into memory: the next peek needs no disk read.
+        assert "key" in fresh
+
+    def test_peek_without_decoder_skips_disk(self, tmp_path):
+        warm = PlanCache(cache_dir=tmp_path)
+        warm.get_or_compute("key", lambda: {"x": 7},
+                            to_payload=lambda v: v, from_payload=lambda d: d)
+        fresh = PlanCache(cache_dir=tmp_path)
+        assert fresh.peek("key") is None
+
+    def test_peek_uncacheable_key(self):
+        cache = PlanCache(maxsize=4)
+        assert cache.peek(None) is None
+        assert cache.stats.uncacheable == 1
+
+    def test_peek_corrupt_disk_entry(self, tmp_path):
+        warm = PlanCache(cache_dir=tmp_path)
+        warm.get_or_compute("key", lambda: {"x": 7},
+                            to_payload=lambda v: v, from_payload=lambda d: d)
+        warm._entry_path("key").write_bytes(b"garbage")
+        fresh = PlanCache(cache_dir=tmp_path)
+        assert fresh.peek("key", from_payload=lambda d: d) is None
+        assert fresh.stats.corrupt_loads == 1
+
+
+class TestUnwritableCacheDir:
+    def test_degrades_to_memory_only_with_one_warning(self, tmp_path):
+        # A *file* where the cache directory should be: mkdir fails cleanly.
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        reset_default_plan_cache()
+        try:
+            with pytest.warns(RuntimeWarning, match="memory-only"):
+                cache = default_plan_cache(blocked)
+            assert cache.cache_dir is None
+            # Second call: no re-probe, no second warning, same degradation.
+            import warnings as _warnings
+
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                again = default_plan_cache(blocked)
+            assert again.cache_dir is None
+            # The cache still works, memory-only.
+            assert again.get_or_compute("k", lambda: 5) == 5
+            assert again.peek("k") == 5
+        finally:
+            reset_default_plan_cache()
+
+    def test_reset_forgets_unwritable_verdicts(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        reset_default_plan_cache()
+        try:
+            with pytest.warns(RuntimeWarning):
+                default_plan_cache(blocked)
+            reset_default_plan_cache()
+            blocked.unlink()  # the path becomes creatable
+            cache = default_plan_cache(blocked)
+            assert cache.cache_dir == blocked
+        finally:
+            reset_default_plan_cache()

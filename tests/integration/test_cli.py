@@ -238,3 +238,26 @@ class TestLifeFunctionFactory:
         for argv, cls in cases:
             args = parser.parse_args(argv)
             assert isinstance(make_life_function(args), cls)
+
+
+class TestChaosCommand:
+    def test_quick_subset_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        status = main([
+            "chaos", "--quick",
+            "--classes", "message_loss", "planner_outage",
+            "--out", str(out),
+        ])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "chaos matrix" in text
+        assert "message_loss" in text and "planner_outage" in text
+        import json as _json
+
+        report = _json.loads(out.read_text())
+        assert set(report["summary"]) == {"message_loss", "planner_outage"}
+        assert all(c["goodput"] > 0.0 for c in report["cells"])
+
+    def test_unknown_class_errors(self):
+        with pytest.raises(Exception):
+            main(["chaos", "--quick", "--classes", "meteor_strike"])

@@ -7,11 +7,21 @@ import pytest
 
 from repro.core.life_functions import GeometricDecreasingLifespan, UniformRisk
 from repro.core.schedule import Schedule
-from repro.exceptions import SimulationError
+from repro.exceptions import InvalidScheduleError, SimulationError
 from repro.now.checkpointing import (
     save_schedule,
     simulate_fault_prone_job,
 )
+
+
+class _FixedFailures:
+    """Stub failure process with a scripted sequence of failure times."""
+
+    def __init__(self, times):
+        self._times = list(times)
+
+    def sample_reclaim_times(self, rng, n):
+        return np.array([self._times.pop(0) for _ in range(n)], dtype=float)
 
 
 class TestSaveSchedule:
@@ -76,3 +86,50 @@ class TestSimulation:
         schedule = Schedule([0.5, 0.5])  # both periods below the save cost
         with pytest.raises(SimulationError):
             simulate_fault_prone_job(p, 1.0, 10.0, schedule=schedule, rng=rng)
+
+
+class TestEdgeCases:
+    def test_zero_length_save_schedule_rejected(self, rng):
+        # A schedule with no periods cannot even be constructed ...
+        with pytest.raises(InvalidScheduleError):
+            Schedule([])
+        # ... and a single-period one whose save cost consumes the whole
+        # period banks nothing (c_save > t0): the job can never finish.
+        with pytest.raises(SimulationError):
+            simulate_fault_prone_job(
+                UniformRisk(10.0), 3.0, 5.0, schedule=Schedule([2.0]), rng=rng
+            )
+
+    def test_failure_exactly_at_checkpoint_boundary_kills_period(self):
+        """'Reclaimed BY time T_k' (eq. 2.1): a failure landing exactly on a
+        save boundary destroys that period's work."""
+        p = _FixedFailures([2.0, 100.0])
+        schedule = Schedule([2.0, 2.0])  # boundaries at 2.0 and 4.0
+        run = simulate_fault_prone_job(
+            p, c_save=1.0, total_work=2.0, schedule=schedule,
+            rng=np.random.default_rng(0),
+        )
+        # Epoch 1 dies exactly at the first boundary: nothing banked, the
+        # full 2.0 elapsed lost.  Epoch 2 is failure-free and banks both
+        # 1-unit periods.
+        assert run.failures == 1
+        assert run.work_lost == pytest.approx(2.0)
+        assert run.saves_committed == 2
+        assert run.completion_time == pytest.approx(2.0 + 4.0)
+
+    def test_oversized_save_cost_on_some_periods_still_finishes(self):
+        """c_save > t_i zeroes period i's banked work without stalling the
+        job, as long as some period clears the save cost."""
+        p = _FixedFailures([6.0, 6.0])
+        schedule = Schedule([0.5, 5.0])  # first period is pure overhead
+        run = simulate_fault_prone_job(
+            p, c_save=1.0, total_work=8.0, schedule=schedule,
+            rng=np.random.default_rng(0),
+        )
+        # Only the 5.0-period banks (5.0 - 1.0 = 4.0 per epoch): two epochs,
+        # with the first idling from schedule exhaustion (5.5) to its
+        # failure (6.0) and losing nothing.
+        assert run.failures == 1
+        assert run.work_lost == 0.0
+        assert run.saves_committed == 4
+        assert run.completion_time == pytest.approx(6.0 + 5.5)

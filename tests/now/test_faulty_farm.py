@@ -1,0 +1,222 @@
+"""Fault injection in the NOW farm: differential bit-identity and behaviour."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import GuidelinePolicy
+from repro.core.life_functions import UniformRisk
+from repro.exceptions import SimulationError
+from repro.faults import (
+    CrashFault,
+    FaultPlan,
+    LifeDriftFault,
+    MessageDelayFault,
+    MessageLossFault,
+    OverheadJitterFault,
+    ResultCorruptionFault,
+)
+from repro.now.farm import RetryPolicy, run_farm
+from repro.now.network import Network, Workstation
+from repro.now.owner import OwnerProcess
+from repro.workloads.generators import uniform_tasks
+from repro.workloads.tasks import TaskPool
+
+
+def _network(n_ws: int = 3, c: float = 1.0, lifespan: float = 30.0,
+             present_mean: float = 5.0) -> Network:
+    p = UniformRisk(lifespan)
+    return Network(
+        [
+            Workstation(i, OwnerProcess.from_life_function(p, present_mean))
+            for i in range(n_ws)
+        ],
+        c=c,
+    )
+
+
+def _pool(n: int = 4000, duration: float = 0.5) -> TaskPool:
+    return TaskPool.from_durations(uniform_tasks(n, duration))
+
+
+def _run(faults=None, retry=None, seed: int = 42, horizon: float = 300.0,
+         policy=GuidelinePolicy, n_ws: int = 3):
+    return run_farm(
+        _network(n_ws),
+        _pool(),
+        lambda ws: policy(),
+        horizon=horizon,
+        rng=np.random.default_rng(seed),
+        faults=faults,
+        retry=retry,
+    )
+
+
+def _fingerprint(result) -> tuple:
+    """Everything observable about a run, for exact comparison."""
+    return (
+        result.tasks_completed,
+        result.completion_time,
+        result.events_processed,
+        tuple(
+            (
+                s.episodes, s.periods_committed, s.periods_killed,
+                s.tasks_completed, s.work_done, s.work_lost,
+                s.overhead_paid, s.idle_absent_time,
+            )
+            for s in result.stats.values()
+        ),
+    )
+
+
+class TestDifferentialBitIdentity:
+    def test_null_plan_bit_identical_to_no_plan(self):
+        baseline = _run(faults=None)
+        nulled = _run(faults=FaultPlan(seed=123))
+        assert _fingerprint(nulled) == _fingerprint(baseline)
+        assert nulled.fault_log is not None and len(nulled.fault_log) == 0
+        assert baseline.fault_log is None
+
+    def test_null_plan_with_retry_policy_bit_identical(self):
+        # The retry path only activates on lost dispatches; with no loss
+        # injector it must not perturb anything.
+        baseline = _run(faults=None)
+        resilient = _run(faults=FaultPlan(seed=0), retry=RetryPolicy())
+        assert _fingerprint(resilient) == _fingerprint(baseline)
+
+    def test_fault_runs_are_reproducible(self):
+        plan = FaultPlan(
+            seed=5,
+            injectors=(MessageLossFault(0.3), ResultCorruptionFault(0.2)),
+        )
+        a = _run(faults=plan, retry=RetryPolicy())
+        b = _run(faults=plan, retry=RetryPolicy())
+        assert _fingerprint(a) == _fingerprint(b)
+        assert a.fault_log.digest() == b.fault_log.digest()
+
+
+class TestCrash:
+    def test_crash_kills_in_flight_and_blocks_dispatch(self):
+        plan = FaultPlan(seed=2, injectors=(CrashFault(mtbf=15.0, restart_time=5.0),))
+        result = _run(faults=plan)
+        assert result.total_crashes > 0
+        kinds = result.fault_log.counts()
+        assert kinds.get("crash", 0) == result.total_crashes
+        assert kinds.get("restart", 0) >= result.total_crashes - 1
+        # Crashes cost goodput relative to the clean run.
+        clean = _run(faults=None)
+        assert result.goodput < clean.goodput
+
+    def test_crash_only_accounting(self):
+        plan = FaultPlan(seed=8, injectors=(CrashFault(mtbf=10.0, restart_time=2.0),))
+        result = _run(faults=plan)
+        for s in result.stats.values():
+            assert s.dispatches_lost == 0
+            assert s.periods_corrupted == 0
+
+
+class TestDispatchFaults:
+    def test_loss_without_retry_idles(self):
+        plan = FaultPlan(seed=3, injectors=(MessageLossFault(0.6),))
+        result = _run(faults=plan, retry=None)
+        assert result.total_dispatches_lost > 0
+        assert all(s.retries == 0 for s in result.stats.values())
+
+    def test_loss_with_retry_recovers_goodput(self):
+        plan = FaultPlan(seed=3, injectors=(MessageLossFault(0.6),))
+        without = _run(faults=plan, retry=None)
+        with_retry = _run(faults=plan, retry=RetryPolicy())
+        assert sum(s.retries for s in with_retry.stats.values()) > 0
+        assert with_retry.fault_log.counts().get("retry", 0) > 0
+        assert with_retry.goodput > without.goodput
+
+    def test_delay_stretches_periods(self):
+        plan = FaultPlan(seed=4, injectors=(MessageDelayFault(0.8, delay_mean=2.0),))
+        result = _run(faults=plan)
+        delayed = sum(s.dispatches_delayed for s in result.stats.values())
+        assert delayed > 0
+        assert sum(s.delay_time for s in result.stats.values()) > 0.0
+        assert result.goodput < _run(faults=None).goodput
+
+    def test_jitter_changes_overhead_paid(self):
+        plan = FaultPlan(seed=6, injectors=(OverheadJitterFault(1.0),))
+        jittered = _run(faults=plan)
+        clean = _run(faults=None)
+        assert jittered.fault_log.counts().get("overhead_jitter", 0) > 0
+        assert jittered.total_overhead != clean.total_overhead
+
+
+class TestCommitAndDrift:
+    def test_corruption_wastes_work(self):
+        plan = FaultPlan(seed=7, injectors=(ResultCorruptionFault(0.5),))
+        result = _run(faults=plan)
+        assert result.total_periods_corrupted > 0
+        assert result.total_work_lost > 0.0
+        # Corrupted tasks return to the pool: conservation still holds.
+        assert result.tasks_completed <= 4000
+
+    def test_drift_shortens_absences_after_cutover(self):
+        plan = FaultPlan(
+            seed=9, injectors=(LifeDriftFault(at_fraction=0.5, scale=0.2),)
+        )
+        drifted = _run(faults=plan)
+        clean = _run(faults=None)
+        assert drifted.fault_log.counts().get("life_drift", 0) >= 1
+        assert drifted.goodput < clean.goodput
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RetryPolicy(timeout=-1.0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(base_backoff=0.0)
+        with pytest.raises(SimulationError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_backoff=0.01)
+        with pytest.raises(SimulationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(SimulationError):
+            RetryPolicy(jitter=1.5)
+
+    def test_delay_is_bounded_exponential(self):
+        policy = RetryPolicy(timeout=0.5, base_backoff=0.25, factor=2.0,
+                             max_backoff=1.0, jitter=0.0)
+        delays = [policy.delay(k) for k in range(6)]
+        assert delays[0] == pytest.approx(0.75)
+        assert delays[1] == pytest.approx(1.0)
+        # Capped at timeout + max_backoff from attempt 2 on.
+        assert all(d == pytest.approx(1.5) for d in delays[2:])
+        # Jitter only shrinks the backoff component, never below timeout.
+        jittery = RetryPolicy(timeout=0.5, max_backoff=1.0, jitter=1.0)
+        assert jittery.delay(5, u=0.999) >= 0.5
+
+    def test_retries_capped_per_episode(self):
+        plan = FaultPlan(seed=10, injectors=(MessageLossFault(1.0),))
+        retry = RetryPolicy(max_retries=2)
+        result = _run(faults=plan, retry=retry, horizon=120.0)
+        # Every dispatch is lost: nothing ever commits, and each episode
+        # retries at most max_retries times.
+        assert result.tasks_completed == 0
+        for s in result.stats.values():
+            assert s.retries <= retry.max_retries * s.episodes
+
+
+class TestFarmResultSurface:
+    def test_fault_totals_exposed(self):
+        plan = FaultPlan(
+            seed=12,
+            injectors=(MessageLossFault(0.4), ResultCorruptionFault(0.3)),
+        )
+        result = _run(faults=plan, retry=RetryPolicy())
+        assert result.total_dispatches_lost == sum(
+            s.dispatches_lost for s in result.stats.values()
+        )
+        assert result.total_periods_corrupted == sum(
+            s.periods_corrupted for s in result.stats.values()
+        )
+        assert math.isnan(result.completion_time) or result.finished
