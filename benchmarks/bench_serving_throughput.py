@@ -1,0 +1,131 @@
+"""SERVING — batched vs scalar plan-serving throughput benchmark.
+
+Drives the three serving front ends against the same Zipf-skewed query
+stream (see :mod:`repro.analysis.loadgen`):
+
+* **scalar** — one :meth:`PlanServer.serve` call per query (the
+  pre-batching baseline, dominated by per-call dispatch overhead);
+* **batched** — :meth:`PlanServer.serve_batch` in fixed-size chunks: one
+  vectorized interpolate + polish pass per family table and tier, with
+  duplicate queries coalesced onto a single serve;
+* **open-loop** — concurrent :meth:`BatchingPlanServer.submit` calls,
+  exercising singleflight coalescing and the size-or-deadline flush.
+
+The batched plans must be **bit-identical** to the scalar loop's
+(t0, periods, expected work, termination, and source) — a fast wrong
+answer is worthless — and the batch speedup must clear
+``MIN_BATCH_SPEEDUP`` on the acceptance configuration (1024-query Zipf
+mix, batch 256).
+
+Runs two ways:
+
+* under pytest (``pytest benchmarks/bench_serving_throughput.py -s``) —
+  asserts parity and the >= 10x speedup;
+* as a script (``python benchmarks/bench_serving_throughput.py
+  [BENCH_serving.json]``) — additionally writes the JSON artifact for CI
+  trend tracking (regenerated nightly).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.loadgen import run_servebench
+
+QUERIES = 1024
+BATCH_SIZE = 256
+DISTINCT = 64
+SKEW = 1.1
+SEED = 0
+GRID_POINTS = 9
+SEARCH_GRID = 129
+MIN_BATCH_SPEEDUP = 10.0
+
+
+def measure(
+    queries: int = QUERIES,
+    batch_size: int = BATCH_SIZE,
+    grid_points: int = GRID_POINTS,
+    search_grid: int = SEARCH_GRID,
+) -> dict:
+    record = run_servebench(
+        queries=queries,
+        batch_size=batch_size,
+        distinct=DISTINCT,
+        skew=SKEW,
+        seed=SEED,
+        grid_points=grid_points,
+        search_grid=search_grid,
+    )
+    record["generated_unix"] = time.time()
+    return record
+
+
+def _print_summary(record: dict) -> None:
+    cfg = record["config"]
+    print(
+        f"\nSERVING ({cfg['queries']} queries, batch {cfg['batch_size']}, "
+        f"{cfg['distinct']} distinct, zipf skew {cfg['skew']:g}):"
+    )
+    for mode in ("scalar", "batched", "open_loop"):
+        if mode not in record:
+            continue
+        r = record[mode]
+        print(
+            f"  {mode:10s} {r['throughput_qps']:10.0f} q/s   "
+            f"p50 {r['p50'] * 1e3:7.3f} ms  p95 {r['p95'] * 1e3:7.3f} ms  "
+            f"p99 {r['p99'] * 1e3:7.3f} ms"
+        )
+    print(
+        f"  speedup    {record['batch_speedup']:.1f}x  "
+        f"(parity {'ok' if record['parity_ok'] else 'FAILED'}, "
+        f"{record['batched_stats']['coalesced']} coalesced)"
+    )
+
+
+def test_serving_batch_speedup_and_parity():
+    record = measure()
+    _print_summary(record)
+    assert record["parity_ok"], (
+        f"{record['parity_mismatches']} batched plan(s) differ from the scalar loop"
+    )
+    assert record["batch_speedup"] >= MIN_BATCH_SPEEDUP, record["batch_speedup"]
+    assert record["batched"]["throughput_qps"] > 0
+
+
+def main(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "out", nargs="?", type=Path,
+        default=Path(__file__).parent.parent / "BENCH_serving.json",
+        help="JSON artifact path (default: repo-root BENCH_serving.json)",
+    )
+    parser.add_argument("--queries", type=int, default=QUERIES,
+                        help="stream length (default: %(default)s)")
+    parser.add_argument("--batch-size", type=int, default=BATCH_SIZE,
+                        help="serve_batch chunk size (default: %(default)s)")
+    parser.add_argument("--grid-points", type=int, default=GRID_POINTS,
+                        help="warmed table resolution (default: %(default)s)")
+    parser.add_argument("--search-grid", type=int, default=SEARCH_GRID,
+                        help="t0 search resolution while warming (default: %(default)s)")
+    args = parser.parse_args(argv)
+    record = measure(
+        queries=args.queries,
+        batch_size=args.batch_size,
+        grid_points=args.grid_points,
+        search_grid=args.search_grid,
+    )
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    _print_summary(record)
+    print(f"\nwrote {args.out}")
+    ok = record["parity_ok"] and record["batch_speedup"] >= MIN_BATCH_SPEEDUP
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -10,6 +10,16 @@ from .chaos import (
     run_chaos_cell,
 )
 from .efficiency import EfficiencyReport, efficiency_report, work_ratio
+from .loadgen import (
+    LoadReport,
+    QueryMix,
+    plans_identical,
+    run_closed_loop_batched,
+    run_closed_loop_scalar,
+    run_open_loop,
+    run_servebench,
+    zipf_query_mix,
+)
 from .robustness import (
     RobustnessPoint,
     misestimation_ratio,
@@ -43,6 +53,14 @@ __all__ = [
     "EfficiencyReport",
     "efficiency_report",
     "work_ratio",
+    "LoadReport",
+    "QueryMix",
+    "plans_identical",
+    "run_closed_loop_batched",
+    "run_closed_loop_scalar",
+    "run_open_loop",
+    "run_servebench",
+    "zipf_query_mix",
     "RobustnessPoint",
     "misestimation_ratio",
     "parameter_error_sweep",

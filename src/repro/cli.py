@@ -25,6 +25,13 @@ Commands
     ``t0*``/``E*`` tables, ``query`` serves a schedule from the tables
     (optimizer fallback outside bounds), ``stats`` reports cache contents,
     ``clear`` empties the disk tier.
+``servebench``
+    Load-generator benchmark for the serving stack: a Zipf-skewed query
+    stream served scalar, batched (``serve_batch``), and open-loop through
+    the micro-batching front door, reporting throughput, p50/p95/p99
+    latency, the batch speedup, and a bit-identical parity check
+    (``--quick`` for the ~2 s tier-1 smoke, ``--out BENCH_serving.json``
+    for the nightly artifact).
 ``chaos``
     Run the fault-matrix sweep (every fault class x a rate grid x seeds)
     through the resilient farm + serving stack, print the goodput
@@ -47,6 +54,8 @@ Examples
     python -m repro plancache warm --family uniform --grid-points 9
     python -m repro plancache query --family uniform --c 2.4 --value 333
     python -m repro plancache stats
+    python -m repro servebench --quick
+    python -m repro servebench --out BENCH_serving.json --min-speedup 10
     python -m repro chaos --quick
     python -m repro chaos --out BENCH_chaos.json --rates 0 0.45 0.9
 """
@@ -55,6 +64,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
@@ -181,6 +191,29 @@ def build_parser() -> argparse.ArgumentParser:
     pc_clear.add_argument("--cache-dir", default=None)
     pc_clear.add_argument("--tables", action="store_true",
                           help="also delete the precomputed tables")
+
+    p_sb = sub.add_parser(
+        "servebench",
+        help="load-generator benchmark: scalar vs batched plan serving")
+    p_sb.add_argument("--queries", type=int, default=1024,
+                      help="stream length (default 1024)")
+    p_sb.add_argument("--batch-size", type=int, default=256,
+                      help="serve_batch chunk size (default 256)")
+    p_sb.add_argument("--distinct", type=int, default=64,
+                      help="distinct query pool size (default 64)")
+    p_sb.add_argument("--skew", type=float, default=1.1,
+                      help="Zipf popularity exponent (default 1.1)")
+    p_sb.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+    p_sb.add_argument("--grid-points", type=int, default=9,
+                      help="warmed table resolution per axis (default 9)")
+    p_sb.add_argument("--search-grid", type=int, default=129,
+                      help="t0 search resolution while warming (default 129)")
+    p_sb.add_argument("--quick", action="store_true",
+                      help="~2s smoke config: one family, tiny table, short stream")
+    p_sb.add_argument("--out", default=None,
+                      help="write the JSON record here (e.g. BENCH_serving.json)")
+    p_sb.add_argument("--min-speedup", type=float, default=None,
+                      help="fail (exit 1) if batch speedup falls below this")
 
     p_chaos = sub.add_parser(
         "chaos", help="fault-matrix sweep: goodput under injected faults")
@@ -360,6 +393,11 @@ def _cmd_plancache(args: argparse.Namespace) -> int:
         print(f"cache dir     : {cache_dir}")
         print(f"schema        : v{core.CACHE_SCHEMA_VERSION}")
         print(f"disk entries  : {cache.disk_entries()}")
+        lat = cache.stats.latency.percentiles()
+        print(f"latency (this process): "
+              f"p50 {lat['p50'] * 1e3:.3f} ms, p95 {lat['p95'] * 1e3:.3f} ms, "
+              f"p99 {lat['p99'] * 1e3:.3f} ms "
+              f"over {cache.stats.latency.count} sample(s)")
         for fam in sorted(TABLE_FAMILIES):
             path = table_path(cache_dir, fam)
             table = load_table(path)
@@ -385,6 +423,49 @@ def _cmd_plancache(args: argparse.Namespace) -> int:
         return 0
 
     raise SystemExit(f"unknown plancache action {args.action}")  # pragma: no cover
+
+
+def _cmd_servebench(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.loadgen import run_servebench
+
+    record = run_servebench(
+        queries=args.queries,
+        batch_size=args.batch_size,
+        distinct=args.distinct,
+        skew=args.skew,
+        seed=args.seed,
+        quick=args.quick,
+        grid_points=args.grid_points,
+        search_grid=args.search_grid,
+    )
+    cfg = record["config"]
+    print(f"servebench    : {cfg['queries']} queries, batch {cfg['batch_size']}, "
+          f"{cfg['distinct']} distinct (zipf skew {cfg['skew']:g}), "
+          f"families {', '.join(cfg['families'])}")
+    print(f"tables warmed : {record['warm_seconds']:.2f}s "
+          f"({cfg['grid_points']}x{cfg['grid_points']} per family)")
+    for mode in ("scalar", "batched", "open_loop"):
+        if mode not in record:
+            continue
+        r = record[mode]
+        print(f"{mode:13s}: {r['throughput_qps']:10.0f} q/s   "
+              f"p50 {r['p50'] * 1e3:7.3f} ms  p95 {r['p95'] * 1e3:7.3f} ms  "
+              f"p99 {r['p99'] * 1e3:7.3f} ms")
+    print(f"batch speedup : {record['batch_speedup']:.1f}x  "
+          f"(parity: {'ok' if record['parity_ok'] else 'FAILED'}, "
+          f"{record['batched_stats']['coalesced']} duplicate(s) coalesced)")
+    if args.out is not None:
+        out = Path(args.out)
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {out}")
+    ok = record["parity_ok"] and record["batched"]["throughput_qps"] > 0
+    if args.min_speedup is not None and record["batch_speedup"] < args.min_speedup:
+        print(f"FAIL: batch speedup {record['batch_speedup']:.1f}x "
+              f"< required {args.min_speedup:g}x")
+        ok = False
+    return 0 if ok else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -431,6 +512,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_t0opt(args)
     if args.command == "plancache":
         return _cmd_plancache(args)
+    if args.command == "servebench":
+        return _cmd_servebench(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     raise SystemExit(f"unknown command {args.command}")  # pragma: no cover

@@ -12,6 +12,11 @@ from .batch_recurrence import (
     batch_expected_work,
     generate_schedules_batch,
 )
+from .hetero_recurrence import (
+    HETERO_FAMILIES,
+    HeteroBatchResult,
+    generate_schedules_hetero,
+)
 from .exact import (
     ExactResult,
     geometric_decreasing_optimal_period,
@@ -58,6 +63,7 @@ from .optimizer import (
 from .plancache import (
     CACHE_SCHEMA_VERSION,
     CacheStats,
+    LatencyReservoir,
     PlanCache,
     default_cache_dir,
     default_plan_cache,
@@ -85,6 +91,7 @@ from .recurrence import (
 )
 from .schedule import Schedule, expected_work, truncate_infinite
 from .serving import (
+    BatchingPlanServer,
     CircuitBreaker,
     PlanServer,
     ServedPlan,
@@ -140,6 +147,7 @@ __all__ = [
     "generate_schedule", "next_period", "recurrence_residuals",
     "satisfies_recurrence", "RecurrenceOutcome", "Termination",
     "BatchRecurrenceResult", "generate_schedules_batch", "batch_expected_work",
+    "HeteroBatchResult", "generate_schedules_hetero", "HETERO_FAMILIES",
     "guideline_schedule", "GuidelineResult",
     # t0 bounds
     "t0_bracket", "lower_bound_t0", "upper_bound_t0",
@@ -155,10 +163,11 @@ __all__ = [
     "OptimizationResult", "optimize_fixed_m", "optimize_schedule",
     "optimize_t0_via_recurrence", "expected_work_gradient",
     # plan cache
-    "PlanCache", "CacheStats", "plan_key", "CACHE_SCHEMA_VERSION",
+    "PlanCache", "CacheStats", "LatencyReservoir", "plan_key", "CACHE_SCHEMA_VERSION",
     "default_plan_cache", "default_cache_dir", "reset_default_plan_cache",
     # resilient serving chain
     "PlanServer", "ServedPlan", "CircuitBreaker", "TierStats", "TierChaos",
+    "BatchingPlanServer",
     # greedy / progressive
     "greedy_schedule", "greedy_next_period",
     "ProgressiveScheduler", "progressive_schedule",

@@ -1,0 +1,318 @@
+"""Heterogeneous batch recurrence: system (3.6) over *mixed* ``(c, θ, t0)`` lanes.
+
+:mod:`repro.core.batch_recurrence` vectorizes the Corollary 3.1 recurrence
+over a vector of ``t_0`` candidates that share one life function and one
+overhead — the shape of a single ``t_0`` search.  Batched *serving*
+(:meth:`repro.analysis.tables_precompute.TableServer.query_batch`) needs the
+transpose: thousands of concurrent queries, each with its **own** overhead
+``c`` and family parameter ``θ``, all inside one Section 4 closed-form
+family.  Because the closed-form steps of eqs. (4.1), (4.6), (4.7) and the
+general ``p_{d,L}`` form are arithmetic in ``(c, θ)``, the whole mixed batch
+still advances with one vector operation per recurrence step.
+
+Each lane ``i`` of :func:`generate_schedules_hetero` reproduces
+:func:`repro.core.recurrence.generate_schedule` for
+``(make_family_life(family, θ_i), c_i, t0_i)``: the same termination rules in
+the same priority order, the same lifespan clamping, and the same expected
+work ``E(S; p)`` accumulated in the same left-to-right order.  Relative to
+the scalar engine the periods may drift by an ulp where ``libm`` and NumPy's
+ufunc kernels round ``pow`` differently, but every operation is elementwise
+per lane, so an ``n = 1`` call is **bit-identical** to the corresponding lane
+of an ``n = N`` call — the invariant the batched serving parity tests rely
+on (scalar serving entry points are thin ``n = 1`` wrappers over this
+engine, never a separate code path).
+
+Only the four table families are supported; anything else must go through
+the scalar engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidScheduleError
+from ..types import FloatArray
+from .recurrence import Termination
+from .schedule import Schedule
+
+__all__ = [
+    "HETERO_FAMILIES",
+    "HeteroBatchResult",
+    "generate_schedules_hetero",
+]
+
+#: Families with per-lane vectorized kernels (the Section 4 table families).
+HETERO_FAMILIES = ("uniform", "poly", "geomdec", "geominc")
+
+#: Stable integer codes, matching :mod:`repro.core.batch_recurrence`.
+_TERMINATION_BY_CODE: tuple[Termination, ...] = (
+    Termination.TARGET_NONPOSITIVE,
+    Termination.UNPRODUCTIVE,
+    Termination.LIFESPAN_EXHAUSTED,
+    Termination.TAIL_NEGLIGIBLE,
+    Termination.MAX_PERIODS,
+)
+_CODE: dict[Termination, int] = {t: i for i, t in enumerate(_TERMINATION_BY_CODE)}
+
+_LN2 = math.log(2.0)
+
+
+@dataclass(frozen=True)
+class HeteroBatchResult:
+    """Per-lane schedules for a mixed ``(c, θ, t0)`` batch, NaN-padded."""
+
+    family: str
+    #: Per-lane overheads / family parameters / initial periods.
+    cs: FloatArray
+    params: FloatArray
+    t0s: FloatArray
+    #: Period lengths, shape ``(n_lanes, max_m)``; NaN beyond a lane's end.
+    periods: FloatArray
+    num_periods: np.ndarray
+    termination_codes: np.ndarray
+    #: ``E(S; p)`` per lane, accumulated exactly as the scalar engine does.
+    expected_work: FloatArray
+
+    @property
+    def n_lanes(self) -> int:
+        return int(self.t0s.size)
+
+    def termination(self, i: int) -> Termination:
+        return _TERMINATION_BY_CODE[int(self.termination_codes[i])]
+
+    def schedule(self, i: int) -> Schedule:
+        """Materialize lane ``i`` as a :class:`Schedule`."""
+        m = int(self.num_periods[i])
+        return Schedule(self.periods[i, :m])
+
+
+# ----------------------------------------------------------------------
+# Per-family vectorized kernels (survival + closed-form step)
+# ----------------------------------------------------------------------
+
+
+def _survival(family: str, d: int, params: FloatArray, t: FloatArray) -> FloatArray:
+    """Lane-wise ``p(t; θ)``, matching ``LifeFunction.__call__``'s clamping."""
+    if family in ("uniform", "poly"):
+        out = 1.0 - (t / params) ** d
+    elif family == "geomdec":
+        out = np.exp(-np.log(params) * t)
+    elif family == "geominc":
+        denom = -np.expm1(-params * _LN2)
+        out = -np.expm1((t - params) * _LN2) / denom
+    else:  # pragma: no cover - guarded by generate_schedules_hetero
+        raise InvalidScheduleError(f"no heterogeneous kernel for family {family!r}")
+    return np.clip(out, 0.0, 1.0)
+
+
+def _step(
+    family: str,
+    d: int,
+    cs: FloatArray,
+    params: FloatArray,
+    t_prev: FloatArray,
+    boundary_prev: FloatArray,
+) -> FloatArray:
+    """One lane-wise closed-form recurrence step; NaN means "no next period".
+
+    Mirrors :func:`repro.core.recurrence._closed_form_step` per family, with
+    the scalar parameters ``c`` (and ``a`` for the geometric-decreasing
+    family) promoted to per-lane vectors.
+    """
+    if family == "uniform" or (family == "poly" and d == 1):
+        return t_prev - cs  # eq. (4.1)
+    if family == "poly":
+        ratio = 1.0 + d * (t_prev - cs) / boundary_prev
+        ok = ratio > 0.0
+        out = np.full_like(t_prev, np.nan)
+        out[ok] = (ratio[ok] ** (1.0 / d) - 1.0) * boundary_prev[ok]
+        return out
+    if family == "geomdec":
+        ln_a = np.log(params)
+        arg = 1.0 + (cs - t_prev) * ln_a
+        ok = arg > 0.0
+        out = np.full_like(t_prev, np.nan)
+        out[ok] = -np.log(arg[ok]) / ln_a[ok]
+        return out
+    if family == "geominc":
+        arg = (t_prev - cs) * _LN2 + 1.0
+        ok = arg > 0.0
+        out = np.full_like(t_prev, np.nan)
+        out[ok] = np.log2(arg[ok])
+        return out
+    raise InvalidScheduleError(  # pragma: no cover - guarded by caller
+        f"no heterogeneous kernel for family {family!r}"
+    )
+
+
+def _lifespans(family: str, params: FloatArray) -> FloatArray:
+    """Per-lane potential lifespans ``L`` (inf for the geometric-decreasing)."""
+    if family == "geomdec":
+        return np.full_like(params, np.inf)
+    return params
+
+
+# ----------------------------------------------------------------------
+# The mixed-lane engine
+# ----------------------------------------------------------------------
+
+
+def generate_schedules_hetero(
+    family: str,
+    cs: FloatArray,
+    params: FloatArray,
+    t0s: FloatArray,
+    d: int = 1,
+    max_periods: int = 10_000,
+    tail_tol: float = 1e-12,
+) -> HeteroBatchResult:
+    """Iterate system (3.6) over lanes with per-lane ``(c, θ, t0)``.
+
+    ``d`` is the polynomial degree (only read for ``family="poly"``;
+    ``"uniform"`` is the ``d = 1`` special case).  Lane ``i`` reproduces
+    ``generate_schedule(make_family_life(family, params[i]), cs[i], t0s[i])``
+    period-for-period, with the engine-internal expected work accumulated in
+    the scalar engine's left-to-right order.
+
+    Raises
+    ------
+    InvalidScheduleError
+        On an unsupported family, mismatched lane vectors, any ``c < 0``, or
+        any non-finite / unproductive (``t0 <= c``) initial period.
+    """
+    if family not in HETERO_FAMILIES:
+        raise InvalidScheduleError(
+            f"family {family!r} has no heterogeneous batch kernel; "
+            f"expected one of {HETERO_FAMILIES}"
+        )
+    cs = np.asarray(cs, dtype=float)
+    params = np.asarray(params, dtype=float)
+    t0_arr = np.asarray(t0s, dtype=float)
+    if not (cs.shape == params.shape == t0_arr.shape) or cs.ndim != 1:
+        raise InvalidScheduleError(
+            f"cs/params/t0s must be equal-length vectors, got shapes "
+            f"{cs.shape}/{params.shape}/{t0_arr.shape}"
+        )
+    if t0_arr.size == 0:
+        raise InvalidScheduleError("need at least one lane")
+    if np.any(cs < 0):
+        raise InvalidScheduleError("overheads c must be nonnegative")
+    if not np.all(np.isfinite(t0_arr)):
+        raise InvalidScheduleError("t0 candidates must be finite")
+    if np.any(t0_arr <= cs):
+        bad = int(np.argmax(t0_arr <= cs))
+        raise InvalidScheduleError(
+            f"initial period t0 = {t0_arr[bad]} must exceed the overhead "
+            f"c = {cs[bad]} (lane {bad})"
+        )
+    d = int(d) if family == "poly" else 1
+
+    n = t0_arr.size
+    lifespans = _lifespans(family, params)
+    finite_life = bool(np.any(np.isfinite(lifespans)))
+
+    term = np.full(n, _CODE[Termination.MAX_PERIODS], dtype=np.int8)
+    alive = np.ones(n, dtype=bool)
+    first = t0_arr.copy()
+    if finite_life:
+        # A t0 spanning the whole lifespan earns p(L) = 0; clamp rather than
+        # reject so serving sweeps stay total (scalar engine's pre-loop rule).
+        clamped = t0_arr >= lifespans
+        if np.any(clamped):
+            first[clamped] = np.minimum(t0_arr[clamped], lifespans[clamped])
+            term[clamped] = _CODE[Termination.LIFESPAN_EXHAUSTED]
+            alive[clamped] = False
+
+    sqrt_tail = math.sqrt(tail_tol)
+
+    # Compacted live-lane state, exactly as in generate_schedules_batch, with
+    # the per-lane (c, θ, L) vectors compacted alongside the recurrence state.
+    idx = np.nonzero(alive)[0]
+    tp = first[idx]
+    b = first[idx]
+    lc = cs[idx]
+    lv = params[idx]
+    ll = lifespans[idx]
+    ph = _survival(family, d, lv, b) if idx.size else np.empty(0)
+    e_full = np.zeros(n)
+    e_full[idx] = np.maximum(0.0, tp - lc) * ph
+    e = e_full[idx]
+
+    cap = 32
+    periods_buf = np.full((n, cap), np.nan)
+    k = 0
+
+    for _ in range(max_periods - 1):
+        if idx.size == 0:
+            break
+        if finite_life:
+            hit = b >= ll - 1e-15 * ll
+            if np.any(hit):
+                term[idx[hit]] = _CODE[Termination.LIFESPAN_EXHAUSTED]
+                keep = ~hit
+                idx, tp, b, lc, lv, ll, ph, e = (
+                    idx[keep], tp[keep], b[keep], lc[keep],
+                    lv[keep], ll[keep], ph[keep], e[keep],
+                )
+                if idx.size == 0:
+                    break
+
+        t_next = _step(family, d, lc, lv, tp, b)
+        nonpositive = np.isnan(t_next)
+        unproductive = ~nonpositive & (t_next <= lc)
+        if finite_life:
+            overshoot = ~nonpositive & ~unproductive & (b + t_next > ll)
+            surviving = ~(nonpositive | unproductive | overshoot)
+            term[idx[overshoot]] = _CODE[Termination.LIFESPAN_EXHAUSTED]
+        else:
+            surviving = ~(nonpositive | unproductive)
+        term[idx[nonpositive]] = _CODE[Termination.TARGET_NONPOSITIVE]
+        term[idx[unproductive]] = _CODE[Termination.UNPRODUCTIVE]
+        if not np.any(surviving):
+            break
+
+        sidx = idx[surviving]
+        tn = t_next[surviving]
+        if k == cap:
+            cap *= 2
+            grown = np.full((n, cap), np.nan)
+            grown[:, : periods_buf.shape[1]] = periods_buf
+            periods_buf = grown
+        periods_buf[sidx, k] = tn
+        k += 1
+
+        b = b[surviving] + tn
+        tp = tn
+        lc = lc[surviving]
+        lv = lv[surviving]
+        ll = ll[surviving]
+        ph = _survival(family, d, lv, b)
+        contribution = (tn - lc) * ph
+        e = e[surviving] + contribution
+        e_full[sidx] = e
+        negligible = (contribution < tail_tol * np.maximum(1.0, e)) & (ph < sqrt_tail)
+        if np.any(negligible):
+            term[sidx[negligible]] = _CODE[Termination.TAIL_NEGLIGIBLE]
+            keep = ~negligible
+            idx, tp, b, lc, lv, ll, ph, e = (
+                sidx[keep], tp[keep], b[keep], lc[keep],
+                lv[keep], ll[keep], ph[keep], e[keep],
+            )
+        else:
+            idx = sidx
+
+    periods = np.concatenate([first[:, None], periods_buf[:, :k]], axis=1)
+    num_periods = 1 + np.sum(~np.isnan(periods[:, 1:]), axis=1)
+    return HeteroBatchResult(
+        family=family,
+        cs=cs,
+        params=params,
+        t0s=t0_arr,
+        periods=periods,
+        num_periods=num_periods,
+        termination_codes=term,
+        expected_work=e_full + 0.0,
+    )

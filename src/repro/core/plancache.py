@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
+import random
 import tempfile
 import threading
 import time
@@ -45,6 +47,7 @@ from .life_functions import LifeFunction
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
+    "LatencyReservoir",
     "PlanCache",
     "plan_key",
     "default_cache_dir",
@@ -87,6 +90,61 @@ def plan_key(op: str, fingerprint: str, c: float, **extras: Any) -> str:
     return "|".join(parts)
 
 
+class LatencyReservoir:
+    """Bounded reservoir sample of latencies with p50/p95/p99 read-out.
+
+    Mean latency counters (``hit_seconds`` / ``miss_seconds``) hide tail
+    behavior, which is what a serving SLO is written against.  This keeps a
+    classic Vitter reservoir (uniform over all observations, O(capacity)
+    memory) with a *seeded* RNG, so two runs observing the same latency
+    stream report the same percentiles.  Thread-safe; percentiles use the
+    nearest-rank rule on the current sample.
+    """
+
+    __slots__ = ("capacity", "count", "_sample", "_rng", "_lock")
+
+    def __init__(self, capacity: int = 512, seed: int = 0) -> None:
+        if capacity < 1:
+            raise PlanCacheError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.count = 0
+        self._sample: list[float] = []
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def add(self, seconds: float) -> None:
+        """Record one observation (reservoir-sampled beyond ``capacity``)."""
+        with self._lock:
+            self.count += 1
+            if len(self._sample) < self.capacity:
+                self._sample.append(float(seconds))
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.capacity:
+                    self._sample[slot] = float(seconds)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (nearest rank); NaN with no observations."""
+        with self._lock:
+            sample = sorted(self._sample)
+        if not sample:
+            return math.nan
+        rank = max(1, math.ceil(q / 100.0 * len(sample)))
+        return sample[rank - 1]
+
+    def percentiles(self) -> dict[str, float]:
+        """The serving percentiles: ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return {f"p{q}": self.percentile(q) for q in (50, 95, 99)}
+
+    def as_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {"count": self.count}
+        d.update(self.percentiles())
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LatencyReservoir(count={self.count}, capacity={self.capacity})"
+
+
 @dataclass
 class CacheStats:
     """Hit / miss / latency counters for one :class:`PlanCache`."""
@@ -101,6 +159,8 @@ class CacheStats:
     miss_seconds: float = 0.0  #: time spent computing misses
     uncacheable: int = 0  #: lookups skipped (e.g. unfingerprintable p)
     extra: dict = field(default_factory=dict)
+    #: Per-lookup latency reservoir (p50/p95/p99 across hits *and* misses).
+    latency: LatencyReservoir = field(default_factory=LatencyReservoir)
 
     @property
     def lookups(self) -> int:
@@ -124,6 +184,7 @@ class CacheStats:
             "hit_rate": self.hit_rate,
             "hit_seconds": self.hit_seconds,
             "miss_seconds": self.miss_seconds,
+            "latency": self.latency.as_dict(),
         }
 
 
@@ -212,7 +273,9 @@ class PlanCache:
                 self._mem.move_to_end(key)
                 value = self._mem[key]
                 self.stats.hits += 1
-                self.stats.hit_seconds += time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+                self.stats.hit_seconds += elapsed
+                self.stats.latency.add(elapsed)
                 return value
         if from_payload is not None:
             payload = self._disk_read(key)
@@ -224,11 +287,15 @@ class PlanCache:
                 else:
                     self._mem_put(key, value)
                     self.stats.disk_hits += 1
-                    self.stats.hit_seconds += time.perf_counter() - start
+                    elapsed = time.perf_counter() - start
+                    self.stats.hit_seconds += elapsed
+                    self.stats.latency.add(elapsed)
                     return value
         value = compute()
         self.stats.misses += 1
-        self.stats.miss_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.stats.miss_seconds += elapsed
+        self.stats.latency.add(elapsed)
         self._mem_put(key, value)
         if to_payload is not None:
             try:
@@ -258,7 +325,9 @@ class PlanCache:
                 self._mem.move_to_end(key)
                 value = self._mem[key]
                 self.stats.hits += 1
-                self.stats.hit_seconds += time.perf_counter() - start
+                elapsed = time.perf_counter() - start
+                self.stats.hit_seconds += elapsed
+                self.stats.latency.add(elapsed)
                 return value
         if from_payload is not None:
             payload = self._disk_read(key)
@@ -270,7 +339,9 @@ class PlanCache:
                 else:
                     self._mem_put(key, value)
                     self.stats.disk_hits += 1
-                    self.stats.hit_seconds += time.perf_counter() - start
+                    elapsed = time.perf_counter() - start
+                    self.stats.hit_seconds += elapsed
+                    self.stats.latency.add(elapsed)
                     return value
         return None
 

@@ -33,9 +33,12 @@ that fails does :meth:`PlanServer.serve` raise
 from __future__ import annotations
 
 import math
+import threading
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Optional
+import zlib
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -46,7 +49,7 @@ from ..exceptions import (
 )
 from .life_functions import LifeFunction
 from .optimizer import optimize_t0_via_recurrence
-from .plancache import CacheStats, PlanCache, plan_key
+from .plancache import CacheStats, LatencyReservoir, PlanCache, plan_key
 from .recurrence import generate_schedule
 from .schedule import Schedule
 from .t0_bounds import (
@@ -66,6 +69,7 @@ __all__ = [
     "TierChaos",
     "ServedPlan",
     "PlanServer",
+    "BatchingPlanServer",
 ]
 
 #: Breaker state: requests flow normally.
@@ -197,9 +201,13 @@ class TierChaos:
     ``rates`` maps tier names to failure probabilities in ``[0, 1]``.  When
     :meth:`maybe_fail` fires it raises
     :class:`~repro.exceptions.FaultInjectionError` naming the tier, which
-    :class:`PlanServer` counts as a tier *error* (breaker-tripping).  Draws
-    come from a dedicated seeded stream, so a chaos run is reproducible from
-    ``(seed, rates)`` alone.
+    :class:`PlanServer` counts as a tier *error* (breaker-tripping).  Every
+    tier draws from its **own** seeded substream, so the k-th draw for a
+    tier is the same number regardless of how draws for *other* tiers are
+    interleaved — which makes a batched tier-by-tier pass
+    (:meth:`PlanServer.serve_batch`) fail the exact same queries as the
+    equivalent scalar :meth:`PlanServer.serve` loop.  A chaos run is
+    reproducible from ``(seed, rates)`` alone.
     """
 
     #: Stream tag keeping chaos draws disjoint from fault-plan streams.
@@ -213,15 +221,24 @@ class TierChaos:
                 )
         self.rates = {str(k): float(v) for k, v in rates.items()}
         self.seed = int(seed)
-        self._rng = np.random.default_rng([self.seed, self._STREAM])
+        self._rngs: dict[str, np.random.Generator] = {}
         self.injected: dict[str, int] = {}
+
+    def _tier_rng(self, tier: str) -> np.random.Generator:
+        rng = self._rngs.get(tier)
+        if rng is None:
+            rng = np.random.default_rng(
+                [self.seed, self._STREAM, zlib.crc32(tier.encode())]
+            )
+            self._rngs[tier] = rng
+        return rng
 
     def maybe_fail(self, tier: str) -> None:
         """Raise an injected fault for ``tier`` with its configured rate."""
         rate = self.rates.get(tier, 0.0)
         if rate <= 0.0:
             return
-        if self._rng.random() < rate:
+        if self._tier_rng(tier).random() < rate:
             self.injected[tier] = self.injected.get(tier, 0) + 1
             raise FaultInjectionError(tier)
 
@@ -304,52 +321,299 @@ class PlanServer:
         }
         self.served = 0  #: queries answered by some tier
         self.exhausted = 0  #: queries for which every tier failed
+        self.coalesced = 0  #: duplicate batch queries folded onto one serve
+        self.latency = LatencyReservoir(seed=2)  #: per-query serve latency
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
     def serve(self, family: str, c: float, param_value: float) -> ServedPlan:
-        """A valid schedule for family ``(c, θ)`` from the first able tier."""
-        p = self._family_life(family, param_value)
-        last_error: Optional[BaseException] = None
+        """A valid schedule for family ``(c, θ)`` from the first able tier.
+
+        Thin ``n = 1`` wrapper over the batched serving pass, so a scalar
+        loop and :meth:`serve_batch` share one code path (and are therefore
+        bit-identical on duplicate-free batches).
+        """
+        plans, errors = self._serve_batch_impl([family], [c], [param_value])
+        if errors:
+            raise errors[0]
+        plan = plans[0]
+        assert plan is not None
+        return plan
+
+    def serve_batch(
+        self,
+        families: Sequence[str],
+        cs: Sequence[float],
+        param_values: Sequence[float],
+    ) -> list[ServedPlan]:
+        """Serve a whole query batch through the tier chain, one pass per tier.
+
+        Identical queries (same ``(family, c, θ)``) are coalesced onto one
+        serve and fanned back out (the :attr:`coalesced` counter tracks the
+        folds); distinct queries flow tier by tier — the table tier answers
+        all its lanes in one vectorized
+        :meth:`~repro.analysis.tables_precompute.TableServer.serve_from_table_batch`
+        call, and surviving lanes fall through to the cache → optimizer →
+        guideline tiers in input order with exactly the scalar
+        breaker/chaos/stats bookkeeping.
+
+        Raises :class:`~repro.exceptions.PlanServingError` if **any** query
+        exhausted every tier (the per-lane errors are preserved on the
+        raised error's ``__cause__`` chain; use
+        :class:`BatchingPlanServer` for per-query error delivery).
+        """
+        plans, errors = self._serve_batch_impl(families, cs, param_values)
+        if errors:
+            first = min(errors)
+            raise PlanServingError(
+                f"{len(errors)} of {len(plans)} batched queries failed — invalid "
+                f"or exhausted every serving tier (first failure at index {first})"
+            ) from errors[first]
+        return [plan for plan in plans if plan is not None]
+
+    def _serve_batch_impl(
+        self,
+        families: Sequence[str],
+        cs: Sequence[float],
+        param_values: Sequence[float],
+    ) -> tuple[list[Optional[ServedPlan]], dict[int, BaseException]]:
+        """The batched tier chain; per-lane outcomes, nothing raised.
+
+        Returns ``(plans, errors)`` where ``plans[i]`` is the served plan
+        for query ``i`` (``None`` exactly when ``i in errors``) and
+        ``errors[i]`` is the :class:`~repro.exceptions.PlanServingError` the
+        scalar path would have raised for that query.
+        """
+        start = time.perf_counter()
+        fams = [str(f) for f in families]
+        n = len(fams)
+        cs_list = [float(c) for c in cs]
+        vs_list = [float(v) for v in param_values]
+        if len(cs_list) != n or len(vs_list) != n:
+            raise PlanServingError(
+                f"serve_batch needs equally long families/cs/param_values, "
+                f"got {n}/{len(cs_list)}/{len(vs_list)}"
+            )
+        if n == 0:
+            return [], {}
+
+        # Coalesce exact duplicates onto their first occurrence.
+        rep_of: list[int] = []
+        first_seen: dict[tuple[str, str, str], int] = {}
+        for i in range(n):
+            key = (fams[i], cs_list[i].hex(), vs_list[i].hex())
+            rep_of.append(first_seen.setdefault(key, i))
+        reps = [i for i in range(n) if rep_of[i] == i]
+
+        # Invalid queries (unknown family, out-of-domain parameter) fail per
+        # lane before any tier runs — exactly the exception the scalar path
+        # raises, without poisoning the rest of the batch.
+        ps: dict[int, LifeFunction] = {}
+        invalid: dict[int, BaseException] = {}
+        for i in reps:
+            try:
+                ps[i] = self._family_life(fams[i], vs_list[i])
+            except Exception as exc:
+                invalid[i] = exc
+
+        plans: dict[int, ServedPlan] = {}
+        last_error: dict[int, BaseException] = {}
+        pending = [i for i in reps if i not in invalid]
         for tier in self.TIERS:
-            breaker = self.breakers[tier]
-            stats = self.tier_stats[tier]
+            if not pending:
+                break
+            if tier == "table":
+                pending = self._tier_pass_table(pending, fams, cs_list, vs_list, plans)
+            else:
+                pending = self._tier_pass_scalar(
+                    tier, pending, ps, fams, cs_list, vs_list, plans, last_error
+                )
+
+        errors: dict[int, BaseException] = dict(invalid)
+        for i in pending:  # representatives that exhausted every tier
+            errors[i] = PlanServingError(
+                f"every serving tier failed for family={fams[i]!r} c={cs_list[i]} "
+                f"param={vs_list[i]}"
+            )
+            errors[i].__cause__ = last_error.get(i)
+            self.exhausted += 1
+        self.served += len(plans)
+
+        # Fan coalesced duplicates back out.  A duplicate that the scalar
+        # loop would have served *after* its twin warmed the plan cache
+        # reports source="cache"; other sources repeat verbatim.
+        for i in range(n):
+            r = rep_of[i]
+            if r == i:
+                continue
+            self.coalesced += 1
+            if r in errors:
+                errors[i] = errors[r]
+                if r not in invalid:  # validation failures aren't "exhausted"
+                    self.exhausted += 1
+                continue
+            plan = plans[r]
+            source = plan.source
+            if (
+                source == "optimizer"
+                and self.cache is not None
+                and PlanCache.fingerprint_of(ps[r]) is not None
+            ):
+                source = "cache"
+            plans[i] = plan if source == plan.source else replace(plan, source=source)
+            self.served += 1
+
+        elapsed = time.perf_counter() - start
+        for _ in range(n):
+            self.latency.add(elapsed / n)
+        return [plans.get(i) for i in range(n)], errors
+
+    def _tier_pass_table(
+        self,
+        pending: list[int],
+        fams: list[str],
+        cs: list[float],
+        vs: list[float],
+        plans: dict[int, ServedPlan],
+    ) -> list[int]:
+        """One vectorized table-tier pass over the pending lanes.
+
+        Breaker and chaos bookkeeping runs per lane in input order *before*
+        the single batched table call — the same order the scalar loop
+        touches them — so breaker trips mid-pass reject exactly the lanes
+        the scalar loop would have rejected.
+        """
+        breaker = self.breakers["table"]
+        stats = self.tier_stats["table"]
+        survivors: list[int] = []
+        attempting: list[int] = []
+        for i in pending:
             if not breaker.allow():
                 stats.rejected += 1
+                survivors.append(i)
+                continue
+            if self.chaos is not None:
+                fault_start = time.perf_counter()
+                try:
+                    self.chaos.maybe_fail("table")
+                except Exception:
+                    stats.errors += 1
+                    stats.error_seconds += time.perf_counter() - fault_start
+                    breaker.record_failure()
+                    survivors.append(i)
+                    continue
+            attempting.append(i)
+        if not attempting:
+            return survivors
+
+        start = time.perf_counter()
+        batched = getattr(self.table_server, "serve_from_table_batch", None)
+        try:
+            if self.table_server is None:
+                raise _TierMiss("no table server configured")
+            if batched is not None:
+                results: list[Any] = batched(
+                    [fams[i] for i in attempting],
+                    [cs[i] for i in attempting],
+                    [vs[i] for i in attempting],
+                )
+            else:  # table server without a batch path: scalar per lane
+                results = []
+                for i in attempting:
+                    try:
+                        results.append(
+                            self.table_server.serve_from_table(fams[i], cs[i], vs[i])
+                        )
+                    except CycleStealingError as exc:
+                        results.append(exc)
+        except _TierMiss:
+            share = (time.perf_counter() - start) / len(attempting)
+            for i in attempting:
+                stats.misses += 1
+                stats.miss_seconds += share
+                breaker.record_success()
+                survivors.append(i)
+            return sorted(survivors)
+        except Exception:  # a genuinely broken table tier fails every lane
+            share = (time.perf_counter() - start) / len(attempting)
+            for i in attempting:
+                stats.errors += 1
+                stats.error_seconds += share
+                breaker.record_failure()
+                survivors.append(i)
+            return sorted(survivors)
+
+        share = (time.perf_counter() - start) / len(attempting)
+        for i, res in zip(attempting, results):
+            if isinstance(res, CycleStealingError):
+                # Absent table / out-of-bounds / NaN cell: healthy miss.
+                stats.misses += 1
+                stats.miss_seconds += share
+                breaker.record_success()
+                survivors.append(i)
+            else:
+                stats.hits += 1
+                stats.hit_seconds += share
+                breaker.record_success()
+                plans[i] = ServedPlan(
+                    family=fams[i], c=cs[i], param_value=vs[i], t0=res.t0,
+                    schedule=res.schedule, expected_work=res.expected_work,
+                    source="table", termination=res.termination,
+                )
+        return sorted(survivors)
+
+    def _tier_pass_scalar(
+        self,
+        tier: str,
+        pending: list[int],
+        ps: Mapping[int, LifeFunction],
+        fams: list[str],
+        cs: list[float],
+        vs: list[float],
+        plans: dict[int, ServedPlan],
+        last_error: dict[int, BaseException],
+    ) -> list[int]:
+        """One per-lane tier pass with exactly the scalar serve bookkeeping."""
+        breaker = self.breakers[tier]
+        stats = self.tier_stats[tier]
+        survivors: list[int] = []
+        for i in pending:
+            if not breaker.allow():
+                stats.rejected += 1
+                survivors.append(i)
                 continue
             start = time.perf_counter()
             try:
                 if self.chaos is not None:
                     self.chaos.maybe_fail(tier)
-                plan = self._serve_tier(tier, p, family, c, param_value)
+                plan = self._serve_tier(tier, ps[i], fams[i], cs[i], vs[i])
             except _TierMiss:
                 stats.misses += 1
                 stats.miss_seconds += time.perf_counter() - start
                 breaker.record_success()  # healthy response, just no answer
+                survivors.append(i)
             except Exception as exc:  # injected faults + genuine tier bugs
                 stats.errors += 1
                 stats.error_seconds += time.perf_counter() - start
                 breaker.record_failure()
-                last_error = exc
+                last_error[i] = exc
+                survivors.append(i)
             else:
                 stats.hits += 1
                 stats.hit_seconds += time.perf_counter() - start
                 breaker.record_success()
-                self.served += 1
-                return plan
-        self.exhausted += 1
-        raise PlanServingError(
-            f"every serving tier failed for family={family!r} c={c} "
-            f"param={param_value}"
-        ) from last_error
+                plans[i] = plan
+        return survivors
 
     def stats_dict(self) -> dict[str, Any]:
         """Chain-wide counters + per-tier stats and breaker states, JSON-ready."""
         return {
             "served": self.served,
             "exhausted": self.exhausted,
+            "coalesced": self.coalesced,
+            "latency": self.latency.as_dict(),
             "tiers": {t: self.tier_stats[t].as_dict() for t in self.TIERS},
             "breakers": {t: self.breakers[t].as_dict() for t in self.TIERS},
         }
@@ -525,3 +789,214 @@ class PlanServer:
             if math.isfinite(p.lifespan) and t0 >= p.lifespan:
                 return None
         return t0
+
+
+class _Flight:
+    """One distinct in-flight query plus every future waiting on it."""
+
+    __slots__ = ("family", "c", "param_value", "futures")
+
+    def __init__(self, family: str, c: float, param_value: float) -> None:
+        self.family = family
+        self.c = c
+        self.param_value = param_value
+        self.futures: list[Future] = []
+
+
+class BatchingPlanServer:
+    """A micro-batching front door for :class:`PlanServer`.
+
+    Concurrent callers :meth:`submit` single queries; the server coalesces
+    exact duplicates in flight (singleflight, keyed on the life function's
+    ``fingerprint()``-based cache key — N identical concurrent requests cost
+    one serve) and accumulates *distinct* queries until either ``max_batch``
+    of them are waiting or the oldest has waited ``max_delay_ms``
+    milliseconds, then serves the whole batch through
+    :meth:`PlanServer.serve_batch`'s vectorized tier passes.
+
+    The flush deadline is measured on a **monotonic** clock (never wall
+    time, which steps under NTP) — injectable for tests.  Failures are
+    delivered per future: a query that exhausted every tier gets its own
+    :class:`~repro.exceptions.PlanServingError`; the rest of the batch still
+    resolves.
+
+    Use as a context manager (or call :meth:`close`) so the background
+    flusher thread is joined deterministically.
+    """
+
+    def __init__(
+        self,
+        server: PlanServer,
+        max_batch: int = 256,
+        max_delay_ms: float = 2.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if isinstance(max_batch, bool) or not isinstance(max_batch, int):
+            raise ValueError(f"max_batch must be an int >= 1, got {max_batch!r}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        delay = float(max_delay_ms)
+        if not math.isfinite(delay) or delay < 0:
+            raise ValueError(f"max_delay_ms must be finite and >= 0, got {max_delay_ms}")
+        self.server = server
+        self.max_batch = int(max_batch)
+        self.max_delay_ms = delay
+        self._clock = clock if clock is not None else time.monotonic
+        self._cond = threading.Condition()
+        self._flights: "dict[object, _Flight]" = {}
+        self._oldest_at: Optional[float] = None
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        self.submitted = 0  #: queries accepted
+        self.coalesced = 0  #: queries folded onto an identical in-flight one
+        self.batches = 0  #: flushes dispatched
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def submit(self, family: str, c: float, param_value: float) -> Future:
+        """Enqueue one query; the future resolves to a :class:`ServedPlan`."""
+        fut: Future = Future()
+        key = self._flight_key(family, c, param_value)
+        with self._cond:
+            if self._closed:
+                raise PlanServingError("cannot submit to a closed BatchingPlanServer")
+            flight = self._flights.get(key) if key is not None else None
+            if flight is None:
+                flight = _Flight(str(family), float(c), float(param_value))
+                self._flights[key if key is not None else object()] = flight
+                if self._oldest_at is None:
+                    self._oldest_at = self._clock()
+            else:
+                self.coalesced += 1
+            flight.futures.append(fut)
+            self.submitted += 1
+            self._ensure_flusher()
+            self._cond.notify_all()
+        return fut
+
+    def serve(self, family: str, c: float, param_value: float) -> ServedPlan:
+        """Blocking convenience wrapper: :meth:`submit` + ``result()``."""
+        return self.submit(family, c, param_value).result()
+
+    def flush(self) -> int:
+        """Serve everything queued right now (caller's thread); count flushed."""
+        with self._cond:
+            batch = self._take_batch()
+        return self._dispatch(batch)
+
+    def close(self) -> None:
+        """Flush the queue, stop the flusher thread, reject new submissions."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join()
+        self.flush()  # anything racing in before the close flag
+
+    def __enter__(self) -> "BatchingPlanServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def stats_dict(self) -> dict[str, Any]:
+        """Front-door counters, JSON-ready."""
+        with self._cond:
+            queued = len(self._flights)
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "batches": self.batches,
+            "queued": queued,
+            "max_batch": self.max_batch,
+            "max_delay_ms": self.max_delay_ms,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _flight_key(self, family: str, c: float, param_value: float) -> Optional[str]:
+        """The singleflight identity: the plan cache's content address."""
+        try:
+            p = self.server._family_life(str(family), float(param_value))
+        except Exception:
+            return None  # invalid query: served un-coalesced, fails per future
+        fingerprint = PlanCache.fingerprint_of(p)
+        if fingerprint is None:
+            return None
+        return plan_key("serve", fingerprint, float(c))
+
+    def _ensure_flusher(self) -> None:
+        # Called under the lock.
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._flusher, name="repro-batching-plan-server", daemon=True
+            )
+            self._thread.start()
+
+    def _take_batch(self) -> list[_Flight]:
+        # Called under the lock.
+        batch = list(self._flights.values())
+        self._flights.clear()
+        self._oldest_at = None
+        return batch
+
+    def _deadline_remaining(self) -> Optional[float]:
+        # Called under the lock; None when nothing is queued.
+        if self._oldest_at is None:
+            return None
+        return self.max_delay_ms / 1000.0 - (self._clock() - self._oldest_at)
+
+    def _flusher(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    if self._closed:
+                        batch = self._take_batch()
+                        break
+                    if len(self._flights) >= self.max_batch:
+                        batch = self._take_batch()
+                        break
+                    remaining = self._deadline_remaining()
+                    if remaining is not None and remaining <= 0:
+                        batch = self._take_batch()
+                        break
+                    # An injected test clock can advance independently of
+                    # wall time; cap the sleep so deadlines are re-checked.
+                    if remaining is None:
+                        timeout = None
+                    elif self._clock is time.monotonic:
+                        timeout = max(remaining, 0.0)
+                    else:
+                        timeout = max(min(remaining, 0.05), 0.0)
+                    self._cond.wait(timeout=timeout)
+                closed = self._closed
+            self._dispatch(batch)
+            if closed:
+                return
+
+    def _dispatch(self, batch: list[_Flight]) -> int:
+        if not batch:
+            return 0
+        self.batches += 1
+        families = [fl.family for fl in batch]
+        cs = [fl.c for fl in batch]
+        vs = [fl.param_value for fl in batch]
+        try:
+            plans, errors = self.server._serve_batch_impl(families, cs, vs)
+        except Exception as exc:  # batch-level validation (unknown family, ...)
+            for flight in batch:
+                for fut in flight.futures:
+                    fut.set_exception(exc)
+            return len(batch)
+        for i, flight in enumerate(batch):
+            for fut in flight.futures:
+                if i in errors:
+                    fut.set_exception(errors[i])
+                else:
+                    fut.set_result(plans[i])
+        return len(batch)

@@ -207,3 +207,140 @@ class TestServer:
             p = make_family_life(fam, float(param_grid[0]),
                                  dict(TABLE_FAMILIES[fam][1]))
             assert p(0.0) == pytest.approx(1.0)
+
+
+class TestBatchQueries:
+    def _answers_equal(self, a, b):
+        return (
+            a.family == b.family
+            and a.c == b.c
+            and a.param_value == b.param_value
+            and a.t0 == b.t0
+            and a.expected_work == b.expected_work
+            and a.source == b.source
+            and a.termination == b.termination
+            and np.array_equal(a.schedule.periods, b.schedule.periods)
+        )
+
+    def test_query_batch_matches_scalar_loop(self, uniform_table):
+        """Mixed on-grid / off-grid / out-of-bounds: bit-identical answers."""
+        queries = [
+            (float(uniform_table.c_grid[2]), float(uniform_table.param_grid[1])),
+            (2.3, 199.0),
+            (20.0, 5000.0),  # out of bounds -> optimizer fallback
+            (1.7, 333.3),
+            (3.9, 91.0),
+        ]
+        batch_server = TableServer()
+        batch_server.add_table(uniform_table)
+        batch = batch_server.query_batch(
+            ["uniform"] * len(queries),
+            [q[0] for q in queries],
+            [q[1] for q in queries],
+        )
+        scalar_server = TableServer()
+        scalar_server.add_table(uniform_table)
+        scalar = [scalar_server.query("uniform", c, v) for c, v in queries]
+        assert len(batch) == len(queries)
+        for a, b in zip(batch, scalar):
+            assert self._answers_equal(a, b)
+        for key in ("table", "optimizer"):
+            assert batch_server.counters[key] == scalar_server.counters[key]
+
+    def test_query_batch_groups_families(self, uniform_table):
+        """A mixed-family batch answers each lane from its own table."""
+        server = TableServer()
+        server.add_table(uniform_table)
+        answers = server.query_batch(
+            ["uniform", "geomdec", "uniform"],
+            [2.0, 0.5, 2.5],
+            [150.0, 1.3, 200.0],
+        )
+        assert [a.source for a in answers] == ["table", "optimizer", "table"]
+        assert [a.family for a in answers] == ["uniform", "geomdec", "uniform"]
+
+    def test_query_batch_rejects_mismatched_lengths(self, uniform_table):
+        server = TableServer()
+        server.add_table(uniform_table)
+        with pytest.raises(PlanCacheError):
+            server.query_batch(["uniform"], [1.0, 2.0], [100.0])
+
+    def test_query_batch_unknown_family(self):
+        with pytest.raises(PlanCacheError, match="unknown table family"):
+            TableServer().query_batch(["nope"], [1.0], [100.0])
+
+    def test_interpolate_t0_batch_matches_scalar(self, uniform_table):
+        cs = np.array([1.5, 2.5, 3.5])
+        vs = np.array([100.0, 250.0, 500.0])
+        est, lo, hi, valid = uniform_table.interpolate_t0_batch(cs, vs)
+        assert valid.all()
+        for k in range(cs.size):
+            s_est, s_lo, s_hi = uniform_table.interpolate_t0(
+                float(cs[k]), float(vs[k])
+            )
+            assert est[k] == s_est and lo[k] == s_lo and hi[k] == s_hi
+
+
+class TestMmapTables:
+    def test_mmap_load_equals_memory_load(self, uniform_table, tmp_path):
+        path = save_table(uniform_table, table_path(tmp_path, "uniform"))
+        mem = load_table(path)
+        mapped = load_table(path, mmap_mode="r")
+        assert mapped is not None
+        np.testing.assert_array_equal(mem.t0, mapped.t0)
+        np.testing.assert_array_equal(mem.expected_work, mapped.expected_work)
+        np.testing.assert_array_equal(mem.num_periods, mapped.num_periods)
+
+    def test_mmap_arrays_are_read_only_views(self, uniform_table, tmp_path):
+        path = save_table(uniform_table, table_path(tmp_path, "uniform"))
+        mapped = load_table(path, mmap_mode="r")
+        assert not mapped.t0.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            mapped.t0[0, 0] = 1.0
+
+    def test_mmap_serving_matches_memory_serving(self, uniform_table, tmp_path):
+        save_table(uniform_table, table_path(tmp_path, "uniform"))
+        mapped = TableServer(cache_dir=tmp_path, mmap_tables=True)
+        plain = TableServer(cache_dir=tmp_path, mmap_tables=False)
+        a = mapped.query("uniform", 2.3, 199.0)
+        b = plain.query("uniform", 2.3, 199.0)
+        assert a.t0 == b.t0 and a.expected_work == b.expected_work
+        assert np.array_equal(a.schedule.periods, b.schedule.periods)
+
+    def test_compressed_npz_falls_back_to_memory_load(self, uniform_table, tmp_path):
+        # np.load cannot mmap inside a compressed archive: the loader must
+        # silently fall back to a plain in-memory load, never fail.
+        path = table_path(tmp_path, "uniform")
+        save_table(uniform_table, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = dict(data)
+        np.savez_compressed(path, **arrays)
+        mapped = load_table(path, mmap_mode="r")
+        assert mapped is not None
+        np.testing.assert_array_equal(mapped.t0, uniform_table.t0)
+
+
+class TestFallbackCache:
+    def test_off_grid_fallback_rides_the_cache(self, uniform_table, tmp_path):
+        """Out-of-bounds queries warm the plan cache instead of re-optimizing."""
+        server = TableServer(cache_dir=tmp_path)
+        server.add_table(uniform_table)
+        assert server.cache is not None  # auto-created over cache_dir
+        first = server.query("uniform", 20.0, 5000.0)
+        assert first.source == "optimizer"
+        misses_after_first = server.cache.stats.misses
+        hits_after_first = server.cache.stats.hits
+        second = server.query("uniform", 20.0, 5000.0)
+        assert second.source == "optimizer"
+        assert server.cache.stats.hits > hits_after_first
+        assert server.cache.stats.misses == misses_after_first
+        assert second.t0 == first.t0
+        assert second.expected_work == first.expected_work
+        assert np.array_equal(second.schedule.periods, first.schedule.periods)
+
+    def test_explicit_cache_not_replaced(self, uniform_table, tmp_path):
+        from repro.core.plancache import PlanCache
+
+        cache = PlanCache()
+        server = TableServer(cache_dir=tmp_path, cache=cache)
+        assert server.cache is cache

@@ -358,3 +358,59 @@ class TestUnwritableCacheDir:
             assert cache.cache_dir == blocked
         finally:
             reset_default_plan_cache()
+
+
+class TestLatencyReservoir:
+    def test_exact_percentiles_small_sample(self):
+        from repro.core.plancache import LatencyReservoir
+
+        res = LatencyReservoir(capacity=16)
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]:
+            res.add(v)
+        p = res.percentiles()
+        # Nearest-rank on 10 samples: p50 -> 5th, p95 -> 10th, p99 -> 10th.
+        assert p["p50"] == 5.0
+        assert p["p95"] == 10.0
+        assert p["p99"] == 10.0
+        assert res.count == 10
+
+    def test_empty_reservoir_is_nan(self):
+        from repro.core.plancache import LatencyReservoir
+
+        p = LatencyReservoir().percentiles()
+        assert all(v != v for v in p.values())  # NaN
+
+    def test_reservoir_bounds_memory_but_keeps_counting(self):
+        from repro.core.plancache import LatencyReservoir
+
+        res = LatencyReservoir(capacity=8, seed=3)
+        for v in range(1000):
+            res.add(float(v))
+        assert res.count == 1000
+        assert len(res._sample) == 8
+        p = res.percentiles()
+        assert 0.0 <= p["p50"] <= 999.0
+
+    def test_deterministic_given_seed(self):
+        from repro.core.plancache import LatencyReservoir
+
+        a, b = LatencyReservoir(capacity=4, seed=9), LatencyReservoir(capacity=4, seed=9)
+        for v in range(100):
+            a.add(float(v))
+            b.add(float(v))
+        assert a.percentiles() == b.percentiles()
+
+    def test_invalid_capacity(self):
+        from repro.core.plancache import LatencyReservoir
+        from repro.exceptions import PlanCacheError
+
+        with pytest.raises(PlanCacheError):
+            LatencyReservoir(capacity=0)
+
+    def test_cache_stats_record_latency(self):
+        cache = PlanCache()
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 1)
+        assert cache.stats.latency.count == 2
+        assert "latency" in cache.stats.as_dict()
+        assert cache.stats.as_dict()["latency"]["count"] == 2

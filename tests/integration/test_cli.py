@@ -261,3 +261,34 @@ class TestChaosCommand:
     def test_unknown_class_errors(self):
         with pytest.raises(Exception):
             main(["chaos", "--quick", "--classes", "meteor_strike"])
+
+
+class TestServebenchCommand:
+    @pytest.mark.slow
+    def test_quick_run_reports_parity_and_throughput(self, tmp_path, capsys):
+        out = tmp_path / "serving.json"
+        status = main(["servebench", "--quick", "--out", str(out)])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "batch speedup" in text
+        assert "parity: ok" in text
+        import json as _json
+
+        record = _json.loads(out.read_text())
+        assert record["parity_ok"] is True
+        assert record["batched"]["throughput_qps"] > 0
+        assert record["scalar"]["throughput_qps"] > 0
+        for key in ("p50", "p95", "p99"):
+            assert record["batched"][key] >= 0
+
+    def test_min_speedup_gate(self, capsys):
+        # An impossible bar must flip the exit status, not crash.
+        status = main(["servebench", "--quick", "--queries", "64",
+                       "--min-speedup", "1e9"])
+        assert status == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_plancache_stats_show_latency(self, tmp_path, capsys):
+        status = main(["plancache", "stats", "--cache-dir", str(tmp_path)])
+        assert status == 0
+        assert "latency" in capsys.readouterr().out
