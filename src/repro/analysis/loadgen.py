@@ -25,6 +25,8 @@ a fast wrong answer is worthless.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -35,6 +37,7 @@ import numpy as np
 
 from ..core.plancache import PlanCache
 from ..core.serving import BatchingPlanServer, PlanServer, ServedPlan
+from ..core.sharding import ShardConfig, ShardedPlanServer, build_shard_server
 from .tables_precompute import TABLE_FAMILIES, TableServer, default_grids
 
 __all__ = [
@@ -43,9 +46,11 @@ __all__ = [
     "LoadReport",
     "run_closed_loop_scalar",
     "run_closed_loop_batched",
+    "run_closed_loop_sharded",
     "run_open_loop",
     "plans_identical",
     "run_servebench",
+    "run_shard_scaling",
 ]
 
 
@@ -211,6 +216,35 @@ def run_closed_loop_batched(
     return LoadReport("batched", len(mix), elapsed, latencies, plans)
 
 
+def run_closed_loop_sharded(
+    server: ShardedPlanServer, mix: QueryMix, batch_size: int = 256
+) -> LoadReport:
+    """Serve the stream through :meth:`ShardedPlanServer.serve_batch` chunks.
+
+    Same chunking discipline as :func:`run_closed_loop_batched`, so the two
+    reports are directly comparable (and their plan streams bit-comparable:
+    a cold sharded server must reproduce a cold single-process server's
+    output chunk for chunk).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    plans: list[ServedPlan] = []
+    latencies: list[float] = []
+    start = time.perf_counter()
+    for lo in range(0, len(mix), batch_size):
+        hi = min(lo + batch_size, len(mix))
+        b_start = time.perf_counter()
+        served = server.serve_batch(
+            list(mix.families[lo:hi]), list(mix.cs[lo:hi]),
+            list(mix.param_values[lo:hi]),
+        )
+        b_elapsed = time.perf_counter() - b_start
+        plans.extend(served)
+        latencies.extend([b_elapsed] * (hi - lo))
+    elapsed = time.perf_counter() - start
+    return LoadReport(f"sharded[{server.n_shards}]", len(mix), elapsed, latencies, plans)
+
+
 def run_open_loop(
     server: PlanServer,
     mix: QueryMix,
@@ -374,3 +408,156 @@ def run_servebench(
         record["open_loop"] = open_report.as_dict()
         record["open_loop"]["coalesced_inflight"] = open_server.coalesced
     return record
+
+
+# ----------------------------------------------------------------------
+# The sharded scaling study
+# ----------------------------------------------------------------------
+
+
+def _warm_table_dir(
+    table_dir: Union[str, Path],
+    families: Sequence[str],
+    grid_points: int,
+    search_grid: int,
+) -> float:
+    """Precompute the guideline tables into ``table_dir``; returns seconds.
+
+    One warm pass shared by the reference server and every worker count —
+    the whole point of the mmap'd table files is that N processes map the
+    same pages, so the bench must not re-warm per configuration.
+    """
+    start = time.perf_counter()
+    table_server = TableServer(cache_dir=table_dir, cache=PlanCache())
+    grids = {
+        fam: tuple(np.geomspace(g[0], g[-1], grid_points) for g in default_grids(fam))
+        for fam in families
+    }
+    table_server.warm(families=list(families), grids=grids, search_grid=search_grid)
+    return time.perf_counter() - start
+
+
+def run_shard_scaling(
+    queries: int = 1024,
+    batch_size: int = 256,
+    distinct: int = 64,
+    skew: float = 1.1,
+    seed: int = 0,
+    quick: bool = False,
+    grid_points: int = 9,
+    search_grid: int = 129,
+    families: Optional[Sequence[str]] = None,
+    table_dir: Optional[Union[str, Path]] = None,
+    workers: Sequence[int] = (1, 2, 4, 8),
+    mp_method: Optional[str] = None,
+    request_timeout: float = 120.0,
+) -> dict[str, Any]:
+    """The sharded scaling curve, bit-parity gated per worker count.
+
+    Runs the acceptance mix through a **single-process** reference server
+    (memory-only plan cache over the shared mmap'd tables — the exact stack
+    every shard worker builds), then through a :class:`ShardedPlanServer`
+    at each ``workers`` count, comparing the plan streams bit for bit.  The
+    record's ``parity_ok`` is the AND over all counts; throughput numbers
+    are meaningless when it is false.
+
+    ``scaling_vs_one`` reports each count's aggregate qps relative to the
+    sharded ``workers=1`` run (the honest baseline: it pays the same IPC
+    tax), and ``cpu_count`` records how many cores the host could actually
+    offer — on a single-core box the curve is flat by physics, which is why
+    the CLI's scaling gate (``--min-scaling``) is opt-in while the parity
+    gate is not.
+    """
+    if quick:
+        queries = min(queries, 256)
+        batch_size = min(batch_size, 64)
+        distinct = min(distinct, 16)
+        grid_points = min(grid_points, 5)
+        search_grid = min(search_grid, 33)
+        families = list(families) if families is not None else ["uniform"]
+    fams = list(families) if families is not None else sorted(TABLE_FAMILIES)
+    counts = sorted({int(w) for w in workers})
+    if not counts or counts[0] < 1:
+        raise ValueError(f"workers must be positive, got {list(workers)}")
+
+    tmp: Optional[tempfile.TemporaryDirectory] = None
+    if table_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-shardbench-")
+        table_dir = tmp.name
+    try:
+        warm_seconds = _warm_table_dir(table_dir, fams, grid_points, search_grid)
+        mix = zipf_query_mix(
+            queries, distinct=distinct, skew=skew, families=fams, seed=seed
+        )
+
+        reference_server = build_shard_server(
+            ShardConfig(shard=0, n_shards=1, table_dir=str(table_dir))
+        )
+        reference = run_closed_loop_batched(
+            reference_server, mix, batch_size=batch_size
+        )
+
+        scaling: list[dict[str, Any]] = []
+        qps_by_count: dict[int, float] = {}
+        all_parity = True
+        for n_workers in counts:
+            with ShardedPlanServer(
+                workers=n_workers,
+                table_dir=table_dir,
+                mp_method=mp_method,
+                request_timeout=request_timeout,
+            ) as sharded:
+                report = run_closed_loop_sharded(sharded, mix, batch_size=batch_size)
+                stats = sharded.stats_dict()
+            mismatches = sum(
+                not plans_identical(a, b)
+                for a, b in zip(reference.plans, report.plans)
+            )
+            parity_ok = (
+                mismatches == 0
+                and len(report.plans) == len(reference.plans)
+                and stats["fallback_lanes"] == 0
+            )
+            all_parity = all_parity and parity_ok
+            qps_by_count[n_workers] = report.throughput_qps
+            entry = report.as_dict()
+            entry.update(
+                workers=n_workers,
+                parity_ok=bool(parity_ok),
+                parity_mismatches=int(mismatches),
+                fallback_lanes=stats["fallback_lanes"],
+                restarts=stats["restarts"],
+                worker_failures=stats["worker_failures"],
+            )
+            scaling.append(entry)
+
+        base_qps = qps_by_count[counts[0]]
+        scaling_vs_one = {
+            str(n): (qps_by_count[n] / base_qps if base_qps > 0 else float("inf"))
+            for n in counts
+        }
+        return {
+            "config": {
+                "queries": queries,
+                "batch_size": batch_size,
+                "distinct": mix.distinct,
+                "skew": skew,
+                "seed": seed,
+                "quick": quick,
+                "grid_points": grid_points,
+                "search_grid": search_grid,
+                "families": fams,
+                "workers": counts,
+                "mp_method": mp_method,
+            },
+            "cpu_count": os.cpu_count(),
+            "warm_seconds": warm_seconds,
+            "single_process": reference.as_dict(),
+            "scaling": scaling,
+            "scaling_vs_one": scaling_vs_one,
+            "best_scaling": max(scaling_vs_one.values()),
+            "parity_ok": bool(all_parity),
+        }
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

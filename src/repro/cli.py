@@ -31,7 +31,11 @@ Commands
     the micro-batching front door, reporting throughput, p50/p95/p99
     latency, the batch speedup, and a bit-identical parity check
     (``--quick`` for the ~2 s tier-1 smoke, ``--out BENCH_serving.json``
-    for the nightly artifact).
+    for the nightly artifact).  ``--workers N`` switches to the sharded
+    multi-worker tier: a scaling curve over 1..N shard processes, each
+    count bit-parity gated against the single-process server
+    (``--out BENCH_shard.json``; ``--min-scaling`` opts into the
+    throughput gate on multi-core hosts).
 ``chaos``
     Run the fault-matrix sweep (every fault class x a rate grid x seeds)
     through the resilient farm + serving stack, print the goodput
@@ -56,6 +60,8 @@ Examples
     python -m repro plancache stats
     python -m repro servebench --quick
     python -m repro servebench --out BENCH_serving.json --min-speedup 10
+    python -m repro servebench --workers 2 --quick
+    python -m repro servebench --workers 8 --out BENCH_shard.json
     python -m repro chaos --quick
     python -m repro chaos --out BENCH_chaos.json --rates 0 0.45 0.9
 """
@@ -214,6 +220,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the JSON record here (e.g. BENCH_serving.json)")
     p_sb.add_argument("--min-speedup", type=float, default=None,
                       help="fail (exit 1) if batch speedup falls below this")
+    p_sb.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="sharded mode: scaling curve over 1..N worker "
+                           "processes (powers of two), bit-parity gated "
+                           "against the single-process server")
+    p_sb.add_argument("--min-scaling", type=float, default=None,
+                      help="with --workers: fail (exit 1) if best aggregate "
+                           "throughput over the workers=1 run falls below "
+                           "this (opt-in: flat on single-core hosts)")
+    p_sb.add_argument("--mp-method", default=None,
+                      choices=("fork", "spawn", "forkserver"),
+                      help="multiprocessing start method (default: platform)")
 
     p_chaos = sub.add_parser(
         "chaos", help="fault-matrix sweep: goodput under injected faults")
@@ -430,6 +447,8 @@ def _cmd_servebench(args: argparse.Namespace) -> int:
 
     from .analysis.loadgen import run_servebench
 
+    if args.workers is not None:
+        return _cmd_servebench_sharded(args)
     record = run_servebench(
         queries=args.queries,
         batch_size=args.batch_size,
@@ -464,6 +483,62 @@ def _cmd_servebench(args: argparse.Namespace) -> int:
     if args.min_speedup is not None and record["batch_speedup"] < args.min_speedup:
         print(f"FAIL: batch speedup {record['batch_speedup']:.1f}x "
               f"< required {args.min_speedup:g}x")
+        ok = False
+    return 0 if ok else 1
+
+
+def _cmd_servebench_sharded(args: argparse.Namespace) -> int:
+    """The ``--workers N`` branch: sharded scaling curve + parity gate."""
+    import json
+
+    from .analysis.loadgen import run_shard_scaling
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    counts = [1]
+    while counts[-1] * 2 <= args.workers:
+        counts.append(counts[-1] * 2)
+    if counts[-1] != args.workers:
+        counts.append(args.workers)
+
+    record = run_shard_scaling(
+        queries=args.queries,
+        batch_size=args.batch_size,
+        distinct=args.distinct,
+        skew=args.skew,
+        seed=args.seed,
+        quick=args.quick,
+        grid_points=args.grid_points,
+        search_grid=args.search_grid,
+        workers=counts,
+        mp_method=args.mp_method,
+    )
+    cfg = record["config"]
+    print(f"shard scaling : {cfg['queries']} queries, batch {cfg['batch_size']}, "
+          f"{cfg['distinct']} distinct (zipf skew {cfg['skew']:g}), "
+          f"families {', '.join(cfg['families'])}, "
+          f"{record['cpu_count']} cpu(s)")
+    print(f"tables warmed : {record['warm_seconds']:.2f}s (shared mmap dir)")
+    sp = record["single_process"]
+    print(f"single-proc   : {sp['throughput_qps']:10.0f} q/s   "
+          f"p50 {sp['p50'] * 1e3:7.3f} ms  p95 {sp['p95'] * 1e3:7.3f} ms  "
+          f"p99 {sp['p99'] * 1e3:7.3f} ms")
+    for entry in record["scaling"]:
+        scale = record["scaling_vs_one"][str(entry["workers"])]
+        print(f"workers={entry['workers']:<5d}: {entry['throughput_qps']:10.0f} q/s   "
+              f"p50 {entry['p50'] * 1e3:7.3f} ms  p95 {entry['p95'] * 1e3:7.3f} ms  "
+              f"p99 {entry['p99'] * 1e3:7.3f} ms  "
+              f"x{scale:.2f}  (parity: {'ok' if entry['parity_ok'] else 'FAILED'})")
+    print(f"best scaling  : {record['best_scaling']:.2f}x over workers=1  "
+          f"(parity: {'ok' if record['parity_ok'] else 'FAILED'})")
+    if args.out is not None:
+        out = Path(args.out)
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {out}")
+    ok = record["parity_ok"]
+    if args.min_scaling is not None and record["best_scaling"] < args.min_scaling:
+        print(f"FAIL: best scaling {record['best_scaling']:.2f}x "
+              f"< required {args.min_scaling:g}x")
         ok = False
     return 0 if ok else 1
 

@@ -98,6 +98,15 @@ from .serving import (
     TierChaos,
     TierStats,
 )
+from .sharding import (
+    ShardConfig,
+    ShardedPlanServer,
+    ShardWorker,
+    build_shard_server,
+    shard_of,
+    shard_of_query,
+    split_batch,
+)
 from .structure import (
     StructureReport,
     period_decrements,
@@ -168,6 +177,9 @@ __all__ = [
     # resilient serving chain
     "PlanServer", "ServedPlan", "CircuitBreaker", "TierStats", "TierChaos",
     "BatchingPlanServer",
+    # sharded multi-worker serving tier
+    "ShardedPlanServer", "ShardWorker", "ShardConfig", "build_shard_server",
+    "shard_of", "shard_of_query", "split_batch",
     # greedy / progressive
     "greedy_schedule", "greedy_next_period",
     "ProgressiveScheduler", "progressive_schedule",

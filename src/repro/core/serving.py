@@ -208,12 +208,25 @@ class TierChaos:
     (:meth:`PlanServer.serve_batch`) fail the exact same queries as the
     equivalent scalar :meth:`PlanServer.serve` loop.  A chaos run is
     reproducible from ``(seed, rates)`` alone.
+
+    ``shard`` (optional) salts every tier substream with a shard index, so
+    the N workers of a sharded serving tier (:mod:`repro.core.sharding`)
+    each draw from their **own** per-tier streams: the k-th draw for
+    ``(tier, shard)`` is the same number whether the shard's lanes are
+    served in a worker process or serially in-process — the substream
+    contract behind the cross-process chaos parity suite.  ``shard=None``
+    (the default) reproduces the unsalted PR-5 streams exactly.
     """
 
     #: Stream tag keeping chaos draws disjoint from fault-plan streams.
     _STREAM = 977
 
-    def __init__(self, rates: Mapping[str, float], seed: int = 0) -> None:
+    def __init__(
+        self,
+        rates: Mapping[str, float],
+        seed: int = 0,
+        shard: Optional[int] = None,
+    ) -> None:
         for tier, rate in rates.items():
             if not 0.0 <= float(rate) <= 1.0:
                 raise ValueError(
@@ -221,15 +234,20 @@ class TierChaos:
                 )
         self.rates = {str(k): float(v) for k, v in rates.items()}
         self.seed = int(seed)
+        self.shard = int(shard) if shard is not None else None
         self._rngs: dict[str, np.random.Generator] = {}
         self.injected: dict[str, int] = {}
 
     def _tier_rng(self, tier: str) -> np.random.Generator:
         rng = self._rngs.get(tier)
         if rng is None:
-            rng = np.random.default_rng(
-                [self.seed, self._STREAM, zlib.crc32(tier.encode())]
-            )
+            entropy = [self.seed, self._STREAM, zlib.crc32(tier.encode())]
+            if self.shard is not None:
+                # The shard word precedes a nonzero tag: SeedSequence strips
+                # trailing zero words, so a bare shard 0 would alias the
+                # unsalted stream.
+                entropy.extend([self.shard, self._STREAM + 1])
+            rng = np.random.default_rng(entropy)
             self._rngs[tier] = rng
         return rng
 

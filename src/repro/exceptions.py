@@ -108,5 +108,35 @@ class PlanServingError(CycleStealingError):
     """Every tier of the plan-serving fallback chain failed for a query."""
 
 
+class ShardingError(CycleStealingError):
+    """The sharded multi-worker serving tier hit an unrecoverable state."""
+
+
+class ShardProtocolError(ShardingError):
+    """A framed shard message is malformed (bad magic, length, or checksum).
+
+    Raised on the *receiving* side of the worker pipe protocol when a frame
+    fails validation — a truncated payload, a checksum mismatch, or bytes
+    that were never a frame.  The connection that produced it can no longer
+    be trusted mid-stream, so the dispatcher treats the worker as dead.
+    """
+
+
+class ShardWorkerError(ShardingError):
+    """A shard worker died, timed out, or answered out of protocol.
+
+    The front door's crash handling catches this: the worker is restarted
+    within its retry budget and the affected lanes fall back to the
+    in-process serving chain, so one dead shard never fails a batch.
+    """
+
+    def __init__(self, message: str, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+    def __reduce__(self):  # keep picklability across the worker boundary
+        return (type(self), (self.args[0], self.shard))
+
+
 class FittingError(CycleStealingError):
     """Life-function fitting from trace data failed."""

@@ -1,4 +1,4 @@
-"""Shared fixtures: canonical life functions, RNGs, and tolerances."""
+"""Shared fixtures: canonical life functions, RNGs, and warmed table dirs."""
 
 from __future__ import annotations
 
@@ -14,6 +14,51 @@ from repro.core.life_functions import (
     UniformRisk,
     WeibullLife,
 )
+
+#: The warmed-table smoke configuration shared by serving tests: small
+#: enough to warm in ~1 s, rich enough to exercise on-grid, off-grid, and
+#: out-of-bounds table paths.
+TABLE_FIXTURE_FAMILIES = ("uniform", "geomdec")
+TABLE_FIXTURE_GRID_POINTS = 5
+TABLE_FIXTURE_SEARCH_GRID = 33
+
+
+@pytest.fixture(scope="session")
+def warmed_table_dir(tmp_path_factory) -> dict:
+    """A session-scoped directory of precomputed guideline tables.
+
+    Warmed **once** per test session and shared by every batched-serving
+    and multiprocess-sharding test — worker processes mmap the same npz
+    files, so re-precomputing per test would dominate the suite's runtime.
+    Consumers must open it read-only (``TableServer(cache_dir=...,
+    cache=PlanCache())``) and never write through it.
+
+    Returns a dict: ``dir`` (Path), ``families``, ``grids`` (the exact
+    per-family ``(c_grid, param_grid)`` arrays warmed), ``search_grid``.
+    """
+    from repro.analysis.tables_precompute import TableServer, default_grids
+    from repro.core.plancache import PlanCache
+
+    path = tmp_path_factory.mktemp("guideline-tables")
+    grids = {
+        fam: tuple(
+            np.geomspace(g[0], g[-1], TABLE_FIXTURE_GRID_POINTS)
+            for g in default_grids(fam)
+        )
+        for fam in TABLE_FIXTURE_FAMILIES
+    }
+    server = TableServer(cache_dir=path, cache=PlanCache())
+    server.warm(
+        families=list(TABLE_FIXTURE_FAMILIES),
+        grids=grids,
+        search_grid=TABLE_FIXTURE_SEARCH_GRID,
+    )
+    return {
+        "dir": path,
+        "families": TABLE_FIXTURE_FAMILIES,
+        "grids": grids,
+        "search_grid": TABLE_FIXTURE_SEARCH_GRID,
+    }
 
 
 @pytest.fixture

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.tables_precompute import TableServer, precompute_table
+from repro.analysis.tables_precompute import TableServer
 from repro.core.plancache import PlanCache
 from repro.core.serving import BatchingPlanServer, PlanServer, TierChaos
 from repro.exceptions import PlanServingError
@@ -88,25 +88,19 @@ class TestServeBatchParity:
             assert a_server.tier_stats[tier].errors == b_server.tier_stats[tier].errors
             assert a_server.tier_stats[tier].hits == b_server.tier_stats[tier].hits
 
-    def test_batch_matches_scalar_with_warm_tables(self):
+    def test_batch_matches_scalar_with_warm_tables(self, warmed_table_dir):
         """Mixed in-grid / off-grid / out-of-bounds through the table tier."""
-        table = precompute_table(
-            "uniform",
-            c_grid=np.geomspace(1.0, 4.0, 5),
-            param_grid=np.geomspace(80.0, 640.0, 5),
-            search_grid=33,
-        )
+        c_grid, param_grid = warmed_table_dir["grids"]["uniform"]
         queries = [
-            ("uniform", float(table.c_grid[1]), float(table.param_grid[2])),  # on-grid
-            ("uniform", 2.3, 199.0),                                          # off-grid
-            ("uniform", 9.0, 1200.0),                                         # out of bounds
+            ("uniform", float(c_grid[1]), float(param_grid[2])),  # on-grid
+            ("uniform", 2.3, 199.0),                              # off-grid
+            ("uniform", float(c_grid[-1]) * 4, float(param_grid[-1]) * 4),  # out of bounds
             ("uniform", 1.7, 333.3),
         ]
 
         def build():
-            ts = TableServer()
-            ts.add_table(table)
-            return PlanServer(table_server=ts, cache=PlanCache())
+            ts = TableServer(cache_dir=warmed_table_dir["dir"], cache=PlanCache())
+            return PlanServer(table_server=ts, cache=ts.cache)
 
         batch = build().serve_batch(*map(list, zip(*queries)))
         scalar_server = build()
