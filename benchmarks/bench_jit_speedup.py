@@ -1,0 +1,219 @@
+"""JIT-SPEEDUP — compiled (numba) vs NumPy engine micro-benchmark.
+
+Times the three kernels of :mod:`repro.jitkernels` against the NumPy engines
+they shadow — the mixed-lane hetero recurrence, the homogeneous ``t_0``-grid
+sweep, and the Monte-Carlo episode gather — verifies structural parity on
+each workload, and records the speedups.  Runs two ways:
+
+* under pytest (``pytest benchmarks/bench_jit_speedup.py -s``) — asserts
+  parity and a >= 5x jit speedup per workload, **skipping when numba is not
+  installed** (the kernels are an optional extra);
+* as a script (``python benchmarks/bench_jit_speedup.py [out.json]``) —
+  writes a JSON artifact (default ``benchmarks/BENCH_jit.json``).  Without
+  numba it records the fallback reason and exits 0, so the nightly job stays
+  green on runners without the ``jit`` extra.
+
+The first jit call per workload pays numba compilation (or an on-disk cache
+load); it is excluded by warming up before timing, matching how the serving
+tier amortizes the cost across a process lifetime.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro import jitkernels
+from repro.core.batch_recurrence import generate_schedules_batch
+from repro.core.hetero_recurrence import generate_schedules_hetero
+from repro.simulation.vectorized import (
+    simulate_episodes_jit,
+    simulate_episodes_vectorized,
+)
+
+GRID = 129
+LANES = 4096
+EPISODES = 200_000
+REPEATS = 5
+MIN_SPEEDUP = 5.0
+
+FAMILIES = [
+    ("uniform", repro.UniformRisk(200.0), 2.0),
+    ("poly3", repro.PolynomialRisk(3, 300.0), 2.0),
+    ("geomdec", repro.GeometricDecreasingLifespan(1.2), 0.5),
+    ("geominc", repro.GeometricIncreasingRisk(30.0), 1.0),
+]
+
+
+def _t0_grid(p, c, n: int) -> np.ndarray:
+    """The widened Theorem 3.2/3.3 grid the optimizer itself sweeps."""
+    bracket = repro.t0_bracket(p, c)
+    lo = max(c * (1 + 1e-9), bracket.lo / 1.5)
+    hi = bracket.hi * 1.5
+    if np.isfinite(p.lifespan):
+        hi = min(hi, p.lifespan * (1 - 1e-12))
+    return np.linspace(lo, hi, n)
+
+
+def _median_time(fn, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def _hetero_workload(lanes: int):
+    """A mixed-(c, θ, t0) uniform-family batch, the serving tier's hot shape."""
+    rng = np.random.default_rng(42)
+    params = rng.uniform(80.0, 400.0, lanes)
+    cs = rng.uniform(0.5, 3.0, lanes)
+    t0s = cs * 1.5 + rng.uniform(0.0, 0.6, lanes) * params
+    return cs, params, t0s
+
+
+def _structural_match(a, b) -> bool:
+    """Same period structure + E within accumulated-ULP noise (see kernels)."""
+    return bool(
+        np.array_equal(a.num_periods, b.num_periods)
+        and np.array_equal(a.termination_codes, b.termination_codes)
+        and np.array_equal(np.isnan(a.periods), np.isnan(b.periods))
+        and np.allclose(a.periods, b.periods, rtol=1e-9, equal_nan=True)
+        and np.allclose(a.expected_work, b.expected_work, rtol=1e-9)
+    )
+
+
+def measure(grid: int = GRID, lanes: int = LANES, episodes: int = EPISODES,
+            repeats: int = REPEATS) -> dict:
+    """Benchmark every workload; only call when :func:`jitkernels.available`."""
+    jitkernels.kernels().warmup()  # compile/cache-load outside the timers
+    workloads = {}
+
+    # 1. Mixed-lane hetero recurrence (TableServer._polish_batch's engine).
+    cs, params, t0s = _hetero_workload(lanes)
+    a = generate_schedules_hetero("uniform", cs, params, t0s)
+    b = generate_schedules_hetero("uniform", cs, params, t0s, engine="jit")
+    numpy_s = _median_time(
+        lambda: generate_schedules_hetero("uniform", cs, params, t0s), repeats)
+    jit_s = _median_time(
+        lambda: generate_schedules_hetero("uniform", cs, params, t0s,
+                                          engine="jit"), repeats)
+    workloads["hetero"] = {
+        "lanes": lanes,
+        "numpy_seconds": numpy_s,
+        "jit_seconds": jit_s,
+        "speedup": numpy_s / jit_s,
+        "parity": _structural_match(a, b),
+    }
+
+    # 2. Homogeneous t0-grid sweep per family (optimize_t0_via_recurrence).
+    for label, p, c in FAMILIES:
+        ts = _t0_grid(p, c, grid)
+        a = generate_schedules_batch(p, c, ts)
+        b = generate_schedules_batch(p, c, ts, engine="jit")
+        numpy_s = _median_time(lambda: generate_schedules_batch(p, c, ts),
+                               repeats)
+        jit_s = _median_time(
+            lambda: generate_schedules_batch(p, c, ts, engine="jit"), repeats)
+        workloads[f"batch-{label}"] = {
+            "grid_points": grid,
+            "numpy_seconds": numpy_s,
+            "jit_seconds": jit_s,
+            "speedup": numpy_s / jit_s,
+            "parity": _structural_match(a, b),
+        }
+
+    # 3. Monte-Carlo episode gather (shared draws isolate the inner pass).
+    p, c = repro.UniformRisk(200.0), 2.0
+    schedule = repro.guideline_schedule(p, c).schedule
+    reclaim = p.sample_reclaim_times(np.random.default_rng(7), episodes)
+    a = simulate_episodes_vectorized(schedule, p, c, episodes,
+                                     reclaim_times=reclaim)
+    b = simulate_episodes_jit(schedule, p, c, episodes, reclaim_times=reclaim)
+    numpy_s = _median_time(
+        lambda: simulate_episodes_vectorized(schedule, p, c, episodes,
+                                             reclaim_times=reclaim), repeats)
+    jit_s = _median_time(
+        lambda: simulate_episodes_jit(schedule, p, c, episodes,
+                                      reclaim_times=reclaim), repeats)
+    workloads["mc-gather"] = {
+        "episodes": episodes,
+        "numpy_seconds": numpy_s,
+        "jit_seconds": jit_s,
+        "speedup": numpy_s / jit_s,
+        "parity": bool(
+            np.array_equal(a.work, b.work)
+            and np.array_equal(a.periods_completed, b.periods_completed)
+        ),
+    }
+
+    return {
+        "numba_available": True,
+        "workloads": workloads,
+        "min_speedup": min(w["speedup"] for w in workloads.values()),
+    }
+
+
+@pytest.mark.skipif(not jitkernels.available(),
+                    reason="numba not importable (jit extra not installed)")
+def test_jit_speedup():
+    record = measure()
+    print("\nJIT-SPEEDUP (compiled kernels vs NumPy engines):")
+    for label, w in record["workloads"].items():
+        print(
+            f"  {label:14s} numpy {w['numpy_seconds'] * 1e3:8.2f} ms, "
+            f"jit {w['jit_seconds'] * 1e3:7.2f} ms -> {w['speedup']:.1f}x "
+            f"(parity: {w['parity']})"
+        )
+    for label, w in record["workloads"].items():
+        assert w["parity"], label
+        assert w["speedup"] >= MIN_SPEEDUP, (label, w)
+
+
+def main(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "out", nargs="?", type=Path,
+        default=Path(__file__).parent / "BENCH_jit.json",
+        help="JSON artifact path (default: benchmarks/BENCH_jit.json)",
+    )
+    parser.add_argument("--grid", type=int, default=GRID,
+                        help="t0 grid resolution (default: %(default)s)")
+    parser.add_argument("--lanes", type=int, default=LANES,
+                        help="hetero workload lanes (default: %(default)s)")
+    parser.add_argument("--episodes", type=int, default=EPISODES,
+                        help="MC gather episodes (default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=REPEATS,
+                        help="timing repeats, median taken (default: %(default)s)")
+    args = parser.parse_args(argv)
+    if not jitkernels.available():
+        record = {
+            "numba_available": False,
+            "reason": jitkernels.disabled_reason(),
+        }
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+        print(json.dumps(record, indent=2))
+        print(f"\nwrote {args.out} (jit unavailable; >=5x gate not armed)")
+        return 0
+    record = measure(grid=args.grid, lanes=args.lanes, episodes=args.episodes,
+                     repeats=args.repeats)
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {args.out}")
+    ok = record["min_speedup"] >= MIN_SPEEDUP and all(
+        w["parity"] for w in record["workloads"].values()
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

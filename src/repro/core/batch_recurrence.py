@@ -171,6 +171,7 @@ def generate_schedules_batch(
     max_periods: int = 10_000,
     tail_tol: float = 1e-12,
     use_closed_form: bool = True,
+    engine: str = "numpy",
 ) -> BatchRecurrenceResult:
     """Iterate system (3.6) from every ``t_0`` in ``t0s`` simultaneously.
 
@@ -182,6 +183,15 @@ def generate_schedules_batch(
     number of vector operations over the still-alive lanes instead of one
     Python iteration per lane.
 
+    ``engine="jit"`` runs the compiled lane loop from
+    :mod:`repro.jitkernels` when (a) numba is importable and enabled and
+    (b) ``p`` is one of the Section 4 closed-form families; in every other
+    case it silently runs this NumPy path, so callers may request ``"jit"``
+    unconditionally.  Expected work is rescored with
+    :func:`batch_expected_work` either way, and periods agree with the NumPy
+    engine bit-for-bit except at the transcendental sites documented in
+    :mod:`repro.jitkernels.kernels` (``<= a`` few ULP).
+
     Raises
     ------
     InvalidScheduleError
@@ -189,6 +199,10 @@ def generate_schedules_batch(
         has ``t0 <= c`` (every initial period must be productive, exactly as
         the scalar engine requires).
     """
+    if engine not in ("numpy", "jit"):
+        raise InvalidScheduleError(
+            f"unknown engine {engine!r}; expected 'numpy' or 'jit'"
+        )
     if c < 0:
         raise InvalidScheduleError(f"overhead c must be nonnegative, got {c}")
     t0_arr = np.asarray(t0s, dtype=float)
@@ -203,6 +217,12 @@ def generate_schedules_batch(
         raise InvalidScheduleError(
             f"initial period t0 = {bad} must exceed the overhead c = {c}"
         )
+
+    if engine == "jit":
+        jitted = _generate_batch_jit(p, c, t0_arr, max_periods, tail_tol)
+        if jitted is not None:
+            return jitted
+        # Unmapped family or no usable numba: transparent NumPy fallback.
 
     n = t0_arr.size
     lifespan = p.lifespan
@@ -328,16 +348,113 @@ def generate_schedules_batch(
     )
 
 
-def batch_expected_work(periods: FloatArray, p: LifeFunction, c: float) -> FloatArray:
+def _targets_from_periods(
+    p: LifeFunction, c: float, periods: FloatArray
+) -> FloatArray:
+    """Reconstruct the recurrence targets from an emitted period block.
+
+    Column ``k`` of the result is ``p(T_k) + (t_k - c) p'(T_k)`` wherever
+    period ``k + 1`` was emitted — exactly the value the NumPy engine records
+    in its loop, because boundary accumulation is sequential in both places
+    and ``p`` / ``p.derivative`` are elementwise.  Lets the jit path return
+    full diagnostics without the kernel carrying the life-function object.
+    """
+    n, width = periods.shape
+    if width <= 1:
+        return np.empty((n, 0))
+    boundaries = np.cumsum(np.where(np.isnan(periods), 0.0, periods), axis=1)
+    emitted = ~np.isnan(periods[:, 1:])
+    targets = np.full((n, width - 1), np.nan)
+    prev_b = boundaries[:, :-1][emitted]
+    prev_t = periods[:, :-1][emitted]
+    targets[emitted] = np.asarray(p(prev_b), dtype=float) + (prev_t - c) * np.asarray(
+        p.derivative(prev_b), dtype=float
+    )
+    return targets
+
+
+def _generate_batch_jit(
+    p: LifeFunction,
+    c: float,
+    t0_arr: FloatArray,
+    max_periods: int,
+    tail_tol: float,
+) -> Optional[BatchRecurrenceResult]:
+    """The compiled homogeneous sweep, or ``None`` when it cannot apply.
+
+    A single-``(p, c)`` sweep is the heterogeneous kernel with constant
+    ``c``/θ lanes, so the one compiled loop serves both engines.  Expected
+    work is rescored with :func:`batch_expected_work` (NumPy's pairwise row
+    reduction) so the jit path is score-identical with the NumPy engine
+    rather than only period-identical.
+    """
+    from .. import jitkernels
+
+    if not jitkernels.available():
+        return None
+    mapped = jitkernels.life_family_of(p)
+    if mapped is None:
+        return None
+    fam, d, theta = mapped
+    kern = jitkernels.kernels()
+    n = t0_arr.size
+    periods, num_periods, term, _ = kern.hetero_recurrence(
+        fam,
+        int(d),
+        np.full(n, float(c)),
+        np.full(n, float(theta)),
+        np.ascontiguousarray(t0_arr, dtype=np.float64),
+        int(max_periods),
+        float(tail_tol),
+    )
+    return BatchRecurrenceResult(
+        t0s=t0_arr,
+        periods=periods,
+        num_periods=num_periods,
+        termination_codes=term,
+        targets=_targets_from_periods(p, c, periods),
+        expected_work=batch_expected_work(periods, p, c),
+    )
+
+
+def batch_expected_work(
+    periods: FloatArray, p: LifeFunction, c: float, engine: str = "numpy"
+) -> FloatArray:
     """Row-wise eq. (2.1) over a NaN-padded ``(n_lanes, max_m)`` period block.
 
     One vectorized life-function evaluation over the full boundary block; NaN
     padding contributes nothing (its work term is zeroed).  Matches
     :meth:`repro.core.schedule.Schedule.expected_work` lane-wise up to
     summation-order float noise.
+
+    ``engine="jit"`` uses the compiled row scorer when numba is usable and
+    ``p`` is a Section 4 family (NumPy fallback otherwise).  The compiled
+    scorer accumulates each row left to right like the scalar engine, so its
+    values may differ from the NumPy path's pairwise row reduction by
+    summation-order float noise — the same relationship the scalar and NumPy
+    engines already have with each other.
     """
+    if engine not in ("numpy", "jit"):
+        raise InvalidScheduleError(
+            f"unknown engine {engine!r}; expected 'numpy' or 'jit'"
+        )
     if c < 0:
         raise InvalidScheduleError(f"overhead c must be nonnegative, got {c}")
+    if engine == "jit":
+        from .. import jitkernels
+
+        if jitkernels.available():
+            mapped = jitkernels.life_family_of(p)
+            if mapped is not None:
+                fam, d, theta = mapped
+                n = np.asarray(periods).shape[0]
+                return jitkernels.kernels().expected_work_rows(
+                    np.ascontiguousarray(periods, dtype=np.float64),
+                    fam,
+                    int(d),
+                    np.full(n, float(c)),
+                    np.full(n, float(theta)),
+                )
     filled = np.where(np.isnan(periods), 0.0, periods)
     boundaries = np.cumsum(filled, axis=1)
     survival = np.asarray(p(boundaries), dtype=float)

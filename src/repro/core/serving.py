@@ -303,6 +303,13 @@ class PlanServer:
     chaos:
         An optional :class:`TierChaos` injecting per-tier faults — the chaos
         harness's entry point into the serving stack.
+    search_engine:
+        The ``optimize_t0_via_recurrence`` engine the optimizer tier runs
+        (``"batch"``, ``"scalar"``, or ``"jit"``) and the cache tier keys its
+        peek on.  ``"jit"`` uses the compiled :mod:`repro.jitkernels` sweep
+        where numba is usable and degrades transparently otherwise; note the
+        engine is part of the plan-cache key, so the cache tier only sees
+        entries written by an optimizer tier running the same engine.
 
     A query that *no* tier can answer raises
     :class:`~repro.exceptions.PlanServingError`; per-tier outcomes accumulate
@@ -326,7 +333,18 @@ class PlanServer:
         breaker_cooldown: float = 30.0,
         clock: Optional[Callable[[], float]] = None,
         chaos: Optional[TierChaos] = None,
+        search_engine: Optional[str] = None,
     ) -> None:
+        if search_engine is not None:
+            if search_engine not in ("batch", "scalar", "jit"):
+                raise ValueError(
+                    f"unknown search_engine {search_engine!r}; expected "
+                    f"'batch', 'scalar', or 'jit'"
+                )
+            # Shadows the class default for this server only; both the cache
+            # tier's key and the optimizer tier's sweep read it, so the two
+            # stay consistent with each other.
+            self._SEARCH_ENGINE = search_engine
         self.table_server = table_server
         self.cache = cache
         self.chaos = chaos
