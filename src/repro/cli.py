@@ -47,6 +47,15 @@ on the CLI, while library callers degrade transparently to NumPy.
     through the resilient farm + serving stack, print the goodput
     degradation summary, and optionally write the ``BENCH_chaos.json``
     artifact via ``--out``.
+``fleet``
+    Multi-host fleet simulation on the vectorized event core: plan
+    guideline schedules for every host in one batched call, then advance
+    all hosts through one event loop under a dispatch policy
+    (``sharing`` / ``stealing`` / ``stealing-latency``; default all
+    three), printing makespan, goodput, steal rate, events/sec, and the
+    mean-field makespan error per policy.  ``--quick`` is the tier-1
+    smoke: the n = 1 bit-parity gate against ``run_farm`` (hard failure)
+    plus a small 16-host policy table.  ``--out`` writes the JSON record.
 
 ``compare`` and ``t0opt`` accept ``--cache-dir`` to ride the plan cache:
 repeated invocations for the same family instance are answered from disk.
@@ -70,6 +79,9 @@ Examples
     python -m repro servebench --workers 8 --out BENCH_shard.json
     python -m repro chaos --quick
     python -m repro chaos --out BENCH_chaos.json --rates 0 0.45 0.9
+    python -m repro fleet --quick
+    python -m repro fleet --hosts 1000 --policy stealing --seed 7
+    python -m repro fleet --hosts 100 --hetero --out fleet.json
 """
 
 from __future__ import annotations
@@ -258,6 +270,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="increasing fault rates in [0, 1] (default: 0 0.45 0.9)")
     p_chaos.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2],
                          help="cell seeds to average over (default: 0 1 2)")
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="multi-host fleet simulation: share/steal dispatch at scale")
+    p_fleet.add_argument("--hosts", type=int, default=100,
+                         help="number of hosts (default 100)")
+    p_fleet.add_argument("--policy", default="all",
+                         choices=("all",) + tuple(
+                             ("sharing", "stealing", "stealing-latency")),
+                         help="dispatch policy (default: all three)")
+    p_fleet.add_argument("--family", default="uniform",
+                         choices=["uniform", "poly", "geomdec", "geominc"],
+                         help="owner life-function family (default uniform)")
+    p_fleet.add_argument("--hetero", action="store_true",
+                         help="heterogeneous hosts: log-uniform draws of "
+                              "(c, parameter, speed, presence) per host")
+    p_fleet.add_argument("--work-per-host", type=float, default=None,
+                         help="task time per host (default 128, or 32 in "
+                              "hetero mode)")
+    p_fleet.add_argument("--task-duration", type=float, default=0.03125,
+                         help="uniform task duration (default 0.03125; keep "
+                              "dyadic for exact parity)")
+    p_fleet.add_argument("--horizon", type=float, default=None,
+                         help="simulation horizon (default: 4x the "
+                              "mean-field makespan)")
+    p_fleet.add_argument("--steal-fraction", type=float, default=0.5,
+                         help="fraction of the victim pool a steal takes "
+                              "(default 0.5)")
+    p_fleet.add_argument("--seed", type=int, default=0, help="RNG seed (default 0)")
+    p_fleet.add_argument("--grid", type=int, default=9,
+                         help="t0 grid lanes per host while planning (default 9)")
+    p_fleet.add_argument("--engine", default="numpy", choices=("numpy", "jit"),
+                         help="schedule-planning recurrence engine (default "
+                              "numpy; jit needs the numba extra)")
+    p_fleet.add_argument("--quick", action="store_true",
+                         help="tier-1 smoke: hard n=1 parity gate vs run_farm "
+                              "+ a 16-host policy table (~2s)")
+    p_fleet.add_argument("--out", default=None,
+                         help="write the JSON record here")
     return parser
 
 
@@ -613,6 +664,83 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .analysis.fleetbench import (
+        auto_horizon,
+        fleet_workload,
+        parity_check,
+        run_policy_comparison,
+    )
+    from .now.fleet import FLEET_POLICIES, FleetSpec, plan_fleet_schedules
+
+    _check_jit_engine(args.engine)
+    if args.hosts < 1:
+        raise SystemExit(f"--hosts must be >= 1, got {args.hosts}")
+    policies = FLEET_POLICIES if args.policy == "all" else (args.policy,)
+
+    if args.quick:
+        start = time.perf_counter()
+        gate = parity_check(seed=args.seed + 7, family=args.family)
+        print(f"n=1 parity    : {'ok' if gate['ok'] else 'FAILED'} "
+              f"({gate['checks']} checks, {time.perf_counter() - start:.1f}s)")
+        for line in gate["mismatches"]:
+            print(f"  MISMATCH {line}")
+        if not gate["ok"]:
+            return 1
+        n_hosts, work = 16, 8.0
+    else:
+        n_hosts = args.hosts
+        work = args.work_per_host
+        if work is None:
+            work = 32.0 if args.hetero else 128.0
+
+    if args.hetero:
+        spec = FleetSpec.heterogeneous(n_hosts, family=args.family,
+                                       seed=args.seed)
+    else:
+        spec = FleetSpec.homogeneous(n_hosts, family=args.family,
+                                     seed=args.seed)
+    durations = fleet_workload(n_hosts, work, args.task_duration)
+    plan = plan_fleet_schedules(spec, grid=args.grid, engine=args.engine)
+    horizon = args.horizon
+    if horizon is None:
+        horizon = auto_horizon(spec, plan, float(np.sum(durations)))
+    record = run_policy_comparison(
+        spec, durations, horizon, policies=policies, plan=plan,
+        grid=args.grid, engine=args.engine, steal_fraction=args.steal_fraction,
+    )
+
+    rows = []
+    for name, r in record["policies"].items():
+        mf_err = r["mean_field"]["makespan_rel_error"]
+        rows.append([
+            name,
+            "yes" if r["finished"] else "NO",
+            f"{r['makespan']:.4g}",
+            f"{r['goodput']:.4g}",
+            f"{r['steal_rate']:.3f}",
+            f"{r['events']:,}",
+            f"{r['events_per_sec']:,.0f}",
+            "-" if mf_err is None else f"{100 * mf_err:.1f}%",
+        ])
+    print(format_table(
+        ["policy", "done", "makespan", "goodput", "steal rate", "events",
+         "events/s", "mf err"],
+        rows,
+        title=f"fleet: {n_hosts} hosts, {record['tasks']:,} tasks, "
+              f"{record['family']}{' hetero' if args.hetero else ''}, "
+              f"horizon {horizon:.4g}",
+    ))
+    if args.out is not None:
+        out = Path(args.out)
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit status."""
     args = build_parser().parse_args(argv)
@@ -632,6 +760,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_servebench(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     raise SystemExit(f"unknown command {args.command}")  # pragma: no cover
 
 

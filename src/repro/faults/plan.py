@@ -299,6 +299,36 @@ class FaultRuntime:
         """The (crash time, restart time) outages planned for one workstation."""
         return list(self._crash_schedule.get(ws_id, []))
 
+    def crash_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All planned outages flattened across workstations, as arrays.
+
+        Returns ``(ws_ids, crash_times, restart_times)`` in sorted-host,
+        chronological-per-host order — the order the farm seeds its event
+        heap in, so a fleet engine can bulk-push the whole churn timeline
+        without per-host Python loops.
+        """
+        ws_ids: list[int] = []
+        crashes: list[float] = []
+        restarts: list[float] = []
+        for ws in sorted(self._crash_schedule):
+            for crash_at, restart_at in self._crash_schedule[ws]:
+                ws_ids.append(ws)
+                crashes.append(crash_at)
+                restarts.append(restart_at)
+        return (
+            np.asarray(ws_ids, dtype=np.int64),
+            np.asarray(crashes, dtype=float),
+            np.asarray(restarts, dtype=float),
+        )
+
+    def outage_time(self, ws_id: int, horizon: Optional[float] = None) -> float:
+        """Total planned downtime for one workstation within the horizon."""
+        end = self.horizon if horizon is None else float(horizon)
+        total = 0.0
+        for crash_at, restart_at in self._crash_schedule.get(ws_id, []):
+            total += max(0.0, min(restart_at, end) - crash_at)
+        return total
+
     # ------------------------------------------------------------------
     # Hook points (called by the farm in event order)
     # ------------------------------------------------------------------

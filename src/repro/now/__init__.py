@@ -11,6 +11,17 @@ from .allocation import (
 )
 from .checkpointing import CheckpointRun, save_schedule, simulate_fault_prone_job
 from .farm import FarmResult, WorkstationStats, run_farm
+from .fleet import (
+    FLEET_POLICIES,
+    FleetPlan,
+    FleetResult,
+    FleetSpec,
+    host_network,
+    host_rng,
+    mean_field_fleet,
+    plan_fleet_schedules,
+    run_fleet,
+)
 from .network import Network, Workstation
 from .owner import OwnerProcess
 
@@ -21,6 +32,15 @@ __all__ = [
     "run_farm",
     "FarmResult",
     "WorkstationStats",
+    "FLEET_POLICIES",
+    "FleetSpec",
+    "FleetPlan",
+    "FleetResult",
+    "plan_fleet_schedules",
+    "run_fleet",
+    "host_network",
+    "host_rng",
+    "mean_field_fleet",
     "save_schedule",
     "simulate_fault_prone_job",
     "CheckpointRun",

@@ -279,6 +279,12 @@ def run_farm(
             return
         elapsed = now - state.episode_started_at
         planned = state.policy.next_period(elapsed)
+        if planned is not None and planned <= 0.0:
+            raise SimulationError(
+                f"policy {type(state.policy).__name__} returned a non-positive "
+                f"period length {planned!r} for workstation {state.ws.ws_id} "
+                f"at elapsed {elapsed}; return None to decline dispatching"
+            )
         if planned is None or planned <= c:
             idle_until_reclaim(state, now)
             return

@@ -9,6 +9,7 @@ transmission, so ``c`` is independent of data sizes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..exceptions import SimulationError
@@ -22,8 +23,12 @@ class Workstation:
     """One borrowable workstation.
 
     ``speed`` scales task execution (a task of duration ``d`` takes ``d /
-    speed`` wall-clock here); the communication overhead is a property of the
-    network, not the workstation.
+    speed`` wall-clock here, and a period's work budget is ``(t - c) *
+    speed`` of task time); the communication overhead is a property of the
+    network, not the workstation.  Both the scalar farm
+    (:func:`repro.now.farm.run_farm`) and the fleet engine
+    (:func:`repro.now.fleet.run_fleet`) honor the same semantics, so a
+    single-host network and a one-host fleet agree bit-for-bit.
     """
 
     ws_id: int
@@ -31,8 +36,11 @@ class Workstation:
     speed: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.speed <= 0:
-            raise SimulationError(f"workstation {self.ws_id} has non-positive speed")
+        if not (math.isfinite(self.speed) and self.speed > 0):
+            raise SimulationError(
+                f"workstation {self.ws_id} needs a positive finite speed, "
+                f"got {self.speed!r}"
+            )
 
 
 @dataclass

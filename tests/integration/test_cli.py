@@ -292,3 +292,38 @@ class TestServebenchCommand:
         status = main(["plancache", "stats", "--cache-dir", str(tmp_path)])
         assert status == 0
         assert "latency" in capsys.readouterr().out
+
+
+class TestFleetCommand:
+    def test_quick_gates_parity_and_prints_table(self, capsys):
+        status = main(["fleet", "--quick"])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "n=1 parity    : ok" in text
+        assert "sharing" in text and "stealing-latency" in text
+
+    def test_single_policy_with_artifact(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        status = main(["fleet", "--hosts", "12", "--policy", "stealing",
+                       "--work-per-host", "8", "--task-duration", "0.25",
+                       "--out", str(out)])
+        assert status == 0
+        import json as _json
+
+        record = _json.loads(out.read_text())
+        assert record["hosts"] == 12
+        assert set(record["policies"]) == {"stealing"}
+        entry = record["policies"]["stealing"]
+        assert entry["events_per_sec"] > 0
+        assert entry["mean_field"]["makespan"] > 0
+
+    def test_hetero_mode(self, capsys):
+        status = main(["fleet", "--hosts", "8", "--hetero",
+                       "--work-per-host", "4", "--task-duration", "0.25",
+                       "--policy", "sharing"])
+        assert status == 0
+        assert "hetero" in capsys.readouterr().out
+
+    def test_bad_hosts_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--hosts", "0"])

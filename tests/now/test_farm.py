@@ -154,6 +154,12 @@ class TestNetworkValidation:
         with pytest.raises(SimulationError):
             Workstation(0, own, speed=0.0)
 
+    @pytest.mark.parametrize("speed", [math.inf, math.nan, -2.0])
+    def test_nonfinite_speed_rejected(self, speed):
+        own = OwnerProcess.from_life_function(UniformRisk(10.0), 5.0)
+        with pytest.raises(SimulationError):
+            Workstation(0, own, speed=speed)
+
     def test_speed_scales_throughput(self):
         p = GeometricDecreasingLifespan(1.1)
 
@@ -167,3 +173,49 @@ class TestNetworkValidation:
             ).total_work_done
 
         assert run(2.0) > 1.5 * run(1.0)
+
+
+class TestPolicyContract:
+    def test_nonpositive_period_raises(self, rng):
+        """A policy handing back t <= 0 is a contract violation the farm
+        names explicitly instead of looping forever on zero-length periods."""
+
+        class BrokenPolicy:
+            def start_episode(self, info):
+                pass
+
+            def next_period(self, elapsed):
+                return 0.0
+
+        net = _network(1, UniformRisk(10.0))
+        pool = TaskPool.from_durations(uniform_tasks(10, 0.5))
+        with pytest.raises(SimulationError, match="non-positive"):
+            run_farm(net, pool, lambda ws: BrokenPolicy(), 100.0, rng)
+
+    def test_negative_period_raises(self, rng):
+        class NegativePolicy:
+            def start_episode(self, info):
+                pass
+
+            def next_period(self, elapsed):
+                return -3.0
+
+        net = _network(1, UniformRisk(10.0))
+        pool = TaskPool.from_durations(uniform_tasks(10, 0.5))
+        with pytest.raises(SimulationError, match="non-positive"):
+            run_farm(net, pool, lambda ws: NegativePolicy(), 100.0, rng)
+
+    def test_none_period_declines_quietly(self, rng):
+        """None still means "decline": the episode idles, no error."""
+
+        class DecliningPolicy:
+            def start_episode(self, info):
+                pass
+
+            def next_period(self, elapsed):
+                return None
+
+        net = _network(1, UniformRisk(10.0))
+        pool = TaskPool.from_durations(uniform_tasks(10, 0.5))
+        result = run_farm(net, pool, lambda ws: DecliningPolicy(), 100.0, rng)
+        assert result.tasks_completed == 0
