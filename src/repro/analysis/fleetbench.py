@@ -53,6 +53,7 @@ __all__ = [
     "run_policy_comparison",
     "scalar_baseline",
     "parity_check",
+    "cross_core_check",
 ]
 
 #: Dyadic default task duration: partial prefix sums are exact in binary
@@ -99,6 +100,8 @@ def run_policy_comparison(
     engine: str = "numpy",
     faults: Optional[FaultPlan] = None,
     steal_fraction: float = 0.5,
+    core: str = "batched",
+    bucket_width: Optional[float] = None,
 ) -> dict:
     """Simulate every policy on one spec; record metrics + mean-field errors."""
     if plan is None:
@@ -112,13 +115,14 @@ def run_policy_comparison(
         "total_work": total_work,
         "horizon": horizon,
         "engine": engine,
+        "core": core,
         "policies": {},
     }
     for policy in policies:
         start = time.perf_counter()
         result = run_fleet(
             spec, durations, horizon, policy=policy, plan=plan, faults=faults,
-            steal_fraction=steal_fraction,
+            steal_fraction=steal_fraction, core=core, bucket_width=bucket_width,
         )
         seconds = time.perf_counter() - start
         mf = mean_field_fleet(spec, plan, total_work, policy=policy,
@@ -245,6 +249,7 @@ def parity_check(
     n_tasks: int = 2048,
     task_duration: float = 0.25,
     horizon: float = 1500.0,
+    core: str = "batched",
 ) -> dict:
     """Differential gate: the n = 1 fleet must be bit-identical to run_farm.
 
@@ -261,7 +266,7 @@ def parity_check(
     for policy in policies:
         fleet = run_fleet(
             spec, durations, horizon, policy=policy, plan=plan,
-            faults=faults, record_log=True,
+            faults=faults, record_log=True, core=core,
         )
         pool = TaskPool.from_durations(durations)
         trace: list = []
@@ -309,5 +314,96 @@ def parity_check(
         check("committed_ids", fleet_ids, [t.task_id for t in pool.completed])
         if with_faults:
             check("fault_digest", fleet.fault_log.digest(), farm.fault_log.digest())
+
+    return {"ok": not mismatches, "checks": checks, "mismatches": mismatches}
+
+
+# ----------------------------------------------------------------------
+# The batched-vs-heap cross-core differential gate
+# ----------------------------------------------------------------------
+
+#: One representative injector per fault class, exercised individually so a
+#: cross-core divergence names the class that caused it.
+_FAULT_CLASSES: tuple[tuple[str, tuple], ...] = (
+    ("clean", ()),
+    ("crash", (CrashFault(mtbf=45.0, restart_time=4.0),)),
+    ("loss", (MessageLossFault(0.15),)),
+    ("delay", (MessageDelayFault(0.2, 0.4),)),
+    ("jitter", (OverheadJitterFault(0.3),)),
+    ("corruption", (ResultCorruptionFault(0.1),)),
+    ("drift", (LifeDriftFault(0.4, 0.5),)),
+)
+
+#: FleetResult per-host/stat fields the cross-core gate compares bit-for-bit.
+_CORE_PARITY_FIELDS = (
+    "episodes", "periods_committed", "periods_killed",
+    "tasks_completed_per_host", "work_done", "work_lost", "overhead_paid",
+    "idle_absent_time", "crashes", "dispatches_lost", "dispatches_delayed",
+    "delay_time", "periods_corrupted", "steals_attempted",
+    "steals_succeeded", "steal_wait",
+)
+
+
+def cross_core_check(
+    seed: int = 7,
+    family: str = "uniform",
+    n_hosts: int = 16,
+    policies: Sequence[str] = FLEET_POLICIES,
+    n_tasks: int = 1024,
+    task_duration: float = 0.25,
+    horizon: float = 120.0,
+    start_absent: bool = False,
+    bucket_width: Optional[float] = None,
+) -> dict:
+    """Differential gate: ``core="batched"`` must be bit-identical to
+    ``core="heap"`` — stats, completion, event count, dispatch-log trace
+    (policy calls, steals, kills, commits in order), and fault digest — for
+    every policy, clean and under each of the six fault classes.
+
+    Returns ``{"ok": bool, "checks": int, "mismatches": [str, ...]}``.
+    """
+    spec = FleetSpec.homogeneous(int(n_hosts), family=family, seed=seed)
+    plan = plan_fleet_schedules(spec, grid=9)
+    durations = np.full(int(n_tasks), float(task_duration))
+    mismatches: list[str] = []
+    checks = 0
+
+    for fault_name, injectors in _FAULT_CLASSES:
+        for policy in policies:
+            results = {}
+            for core in ("heap", "batched"):
+                faults = (
+                    FaultPlan(seed=seed + 1, injectors=injectors)
+                    if injectors else None
+                )
+                results[core] = run_fleet(
+                    spec, durations, horizon, policy=policy, plan=plan,
+                    faults=faults, record_log=True, core=core,
+                    start_absent=start_absent,
+                    bucket_width=bucket_width if core == "batched" else None,
+                )
+            a, b = results["heap"], results["batched"]
+            tag = f"{fault_name}/{policy}"
+
+            def check(name: str, same: bool) -> None:
+                nonlocal checks
+                checks += 1
+                if not same:
+                    mismatches.append(f"{tag}: {name}")
+
+            for field in _CORE_PARITY_FIELDS:
+                check(field, np.array_equal(getattr(a, field),
+                                            getattr(b, field)))
+            check("completion_time",
+                  a.completion_time == b.completion_time
+                  or (math.isnan(a.completion_time)
+                      and math.isnan(b.completion_time)))
+            check("events_processed",
+                  a.events_processed == b.events_processed)
+            check("tasks_completed", a.tasks_completed == b.tasks_completed)
+            check("dispatch_log", a.dispatch_log == b.dispatch_log)
+            if injectors:
+                check("fault_digest",
+                      a.fault_log.digest() == b.fault_log.digest())
 
     return {"ok": not mismatches, "checks": checks, "mismatches": mismatches}

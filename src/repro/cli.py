@@ -53,9 +53,14 @@ on the CLI, while library callers degrade transparently to NumPy.
     all hosts through one event loop under a dispatch policy
     (``sharing`` / ``stealing`` / ``stealing-latency``; default all
     three), printing makespan, goodput, steal rate, events/sec, and the
-    mean-field makespan error per policy.  ``--quick`` is the tier-1
-    smoke: the n = 1 bit-parity gate against ``run_farm`` (hard failure)
-    plus a small 16-host policy table.  ``--out`` writes the JSON record.
+    mean-field makespan error per policy.  ``--core`` picks the event
+    core (``batched`` calendar queue, default, or the ``heap`` oracle)
+    and ``--bucket-width`` tunes the batched core's bucket span.
+    ``--quick`` is the tier-1 smoke: the n = 1 bit-parity gate against
+    ``run_farm`` for both cores plus the batched-vs-heap cross-core gate
+    (hard failures) and a small 16-host policy table.  ``--profile``
+    wraps the run in cProfile and prints the top hotspots.  ``--out``
+    writes the JSON record.
 
 ``compare`` and ``t0opt`` accept ``--cache-dir`` to ride the plan cache:
 repeated invocations for the same family instance are answered from disk.
@@ -81,6 +86,8 @@ Examples
     python -m repro chaos --out BENCH_chaos.json --rates 0 0.45 0.9
     python -m repro fleet --quick
     python -m repro fleet --hosts 1000 --policy stealing --seed 7
+    python -m repro fleet --hosts 100000 --core heap --policy sharing
+    python -m repro fleet --hosts 1000 --profile --profile-top 15
     python -m repro fleet --hosts 100 --hetero --out fleet.json
 """
 
@@ -304,9 +311,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--engine", default="numpy", choices=("numpy", "jit"),
                          help="schedule-planning recurrence engine (default "
                               "numpy; jit needs the numba extra)")
+    p_fleet.add_argument("--core", default="batched",
+                         choices=("batched", "heap"),
+                         help="event core: bucketed calendar queue (default) "
+                              "or the scalar binary-heap oracle")
+    p_fleet.add_argument("--bucket-width", type=float, default=None,
+                         help="calendar-queue bucket width in simulated time "
+                              "(batched core only; default: auto)")
     p_fleet.add_argument("--quick", action="store_true",
-                         help="tier-1 smoke: hard n=1 parity gate vs run_farm "
-                              "+ a 16-host policy table (~2s)")
+                         help="tier-1 smoke: n=1 parity gate vs run_farm for "
+                              "both cores + the batched-vs-heap cross-core "
+                              "gate + a 16-host policy table (~2s)")
+    p_fleet.add_argument("--profile", action="store_true",
+                         help="run under cProfile and print the top hotspots "
+                              "by cumulative time")
+    p_fleet.add_argument("--profile-top", type=int, default=20,
+                         help="rows in the --profile hotspot table "
+                              "(default 20)")
     p_fleet.add_argument("--out", default=None,
                          help="write the JSON record here")
     return parser
@@ -670,6 +691,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     from .analysis.fleetbench import (
         auto_horizon,
+        cross_core_check,
         fleet_workload,
         parity_check,
         run_policy_comparison,
@@ -682,13 +704,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     policies = FLEET_POLICIES if args.policy == "all" else (args.policy,)
 
     if args.quick:
+        ok = True
+        for core in ("batched", "heap"):
+            start = time.perf_counter()
+            gate = parity_check(seed=args.seed + 7, family=args.family,
+                                core=core)
+            print(f"n=1 parity [{core:>7}]: "
+                  f"{'ok' if gate['ok'] else 'FAILED'} "
+                  f"({gate['checks']} checks, "
+                  f"{time.perf_counter() - start:.1f}s)")
+            for line in gate["mismatches"]:
+                print(f"  MISMATCH {line}")
+            ok = ok and gate["ok"]
         start = time.perf_counter()
-        gate = parity_check(seed=args.seed + 7, family=args.family)
-        print(f"n=1 parity    : {'ok' if gate['ok'] else 'FAILED'} "
+        gate = cross_core_check(seed=args.seed + 7, family=args.family)
+        print(f"cross-core parity  : {'ok' if gate['ok'] else 'FAILED'} "
               f"({gate['checks']} checks, {time.perf_counter() - start:.1f}s)")
         for line in gate["mismatches"]:
             print(f"  MISMATCH {line}")
-        if not gate["ok"]:
+        if not (ok and gate["ok"]):
             return 1
         n_hosts, work = 16, 8.0
     else:
@@ -708,10 +742,24 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     horizon = args.horizon
     if horizon is None:
         horizon = auto_horizon(spec, plan, float(np.sum(durations)))
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     record = run_policy_comparison(
         spec, durations, horizon, policies=policies, plan=plan,
         grid=args.grid, engine=args.engine, steal_fraction=args.steal_fraction,
+        core=args.core, bucket_width=args.bucket_width,
     )
+    if args.profile:
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(max(1, args.profile_top))
+        print(buf.getvalue().rstrip())
 
     rows = []
     for name, r in record["policies"].items():
@@ -732,7 +780,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         rows,
         title=f"fleet: {n_hosts} hosts, {record['tasks']:,} tasks, "
               f"{record['family']}{' hetero' if args.hetero else ''}, "
-              f"horizon {horizon:.4g}",
+              f"horizon {horizon:.4g}, {args.core} core",
     ))
     if args.out is not None:
         out = Path(args.out)

@@ -370,6 +370,18 @@ class FaultRuntime:
             self.log.record(now, "life_drift", ws_id, {"scale": self._drift.scale})
         return self._drift.scale
 
+    def drift_params(self) -> tuple[float, float]:
+        """``(threshold time, scale)`` of the planned life drift.
+
+        ``(inf, 1.0)`` when no drift fault is planned.  Lets bulk timeline
+        planners (the fleet's batched core) bake the scaling into precomputed
+        absence draws instead of calling :meth:`absence_scale` per value; the
+        per-episode call is still required for its drift-log side effect.
+        """
+        if self._drift is None:
+            return math.inf, 1.0
+        return self._drift_at, self._drift.scale
+
     def retry_jitter(self) -> float:
         """A ``U[0, 1)`` draw for retry-backoff jitter (own stream)."""
         return float(self._rngs["retry"].random())

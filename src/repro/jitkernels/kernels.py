@@ -288,6 +288,41 @@ def episodes_gather(boundaries, cumulative, reclaim):
     return work, ks
 
 
+@njit(cache=True)
+def fleet_checkout_fixup(cum, base, used, limit, lo, hi, j):
+    """The range-pool checkout cut fix-up: clamp + the two exact scan loops.
+
+    ``j`` is any starting estimate (binary search or mean-duration hint);
+    the loops converge to the unique cut satisfying the scalar admission
+    test ``used + (cum[k] - base) <= limit``, so the result is independent
+    of the seed and bit-identical to the Python loops in
+    ``repro.now.fleet._RangePool.checkout``.
+    """
+    if j < lo:
+        j = lo
+    elif j > hi:
+        j = hi
+    while j < hi and used + (cum[j + 1] - base) <= limit:
+        j += 1
+    while j > lo and used + (cum[j] - base) > limit:
+        j -= 1
+    return j
+
+
+@njit(cache=True)
+def fleet_event_order(times, prios, seqs):
+    """Stable ``(time, prio, seq)`` ordering of the fleet's static events.
+
+    Three chained stable argsorts (least-significant key first) — exactly
+    ``np.lexsort((seqs, prios, times))``, which is what the NumPy fallback
+    uses.  Keys are unique per event, so the order is total and both
+    engines agree bit-for-bit.
+    """
+    order = np.argsort(seqs, kind="mergesort")
+    order = order[np.argsort(prios[order], kind="mergesort")]
+    return order[np.argsort(times[order], kind="mergesort")]
+
+
 def warmup() -> None:
     """Force-compile every kernel on tiny inputs (shared-cache warm pass).
 
@@ -302,3 +337,7 @@ def warmup() -> None:
     hetero_recurrence(FAM_POLY, 3, cs, np.array([100.0]), np.array([5.0]), 64, 1e-12)
     episodes_gather(np.array([1.0, 2.0]), np.array([0.0, 0.5, 1.0]),
                     np.array([0.7, 1.5, 9.0]))
+    fleet_checkout_fixup(np.array([0.0, 0.5, 1.0, 1.5]), 0.0, 0.0, 1.0 + 1e-12,
+                         0, 3, 1)
+    fleet_event_order(np.array([1.0, 0.5]), np.array([2, 1], dtype=np.int64),
+                      np.array([4, 1], dtype=np.int64))

@@ -1,4 +1,4 @@
-"""Fleet-scale farm engine: one shared event core for 100–10k hosts.
+"""Fleet-scale farm engine: one shared event core for 100–100k hosts.
 
 :func:`repro.now.farm.run_farm` simulates borrowed workstations faithfully
 but pays O(tasks) of Python per period event — `Task` objects are popped,
@@ -31,6 +31,27 @@ This module rebuilds the same simulation for *N* hosts around three ideas:
    bit-reproducible from ``(seed, n_hosts, policy)`` and an ``n = 1`` fleet
    is **bit-identical** to ``run_farm`` fed the same substream (dispatch
    log, stats, goodput, and fault digest — differentially tested).
+
+4. **A calendar-queue batched event core** (``run_fleet(core="batched")``,
+   the default).  Every owner leave/return is precomputed in bulk up front
+   (:func:`_plan_owner_timelines` extends the ``FaultRuntime.crash_arrays``
+   planning idea to owner draws: whole 256-wide blocks per host, the family
+   inverse transform vectorized across hosts, one ``np.cumsum`` per chunk —
+   the same left-to-right float additions the lazy scalar path performs).
+   Together with the fault runtime's crash/restart arrays these static
+   events are sorted once (``np.lexsort`` or the ``fleet_event_order`` JIT
+   kernel) and partitioned into fixed-width time buckets; the drain loop
+   walks one bucket's cohort at a time as a presorted list — no per-event
+   ``heappush``/``heappop`` — and only period-end events born inside the
+   current bucket pay a ``bisect.insort``.  Within a bucket events are
+   processed in exact ``(time, prio, seq)`` order, so the core is
+   bit-identical to the heap loop (``core="heap"``, retained as the
+   differential oracle): stats, events processed, completion time, policy
+   trace, committed task order, and fault digest all match across all
+   three policies and every fault class — the cross-core gate in
+   ``repro fleet --quick`` and the hypothesis suites enforce it.  Both
+   cores share one int64 event sequence ``(idx << 32) | epoch`` (checked
+   against overflow) so even exact time/priority ties order identically.
 
 Dispatch policies
 -----------------
@@ -70,8 +91,8 @@ general durations the packing may differ from the scalar loop only at the
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -103,6 +124,7 @@ from .owner import OwnerProcess
 
 __all__ = [
     "FLEET_POLICIES",
+    "FLEET_CORES",
     "FleetSpec",
     "FleetPlan",
     "FleetResult",
@@ -114,9 +136,19 @@ __all__ = [
 ]
 
 FLEET_POLICIES = ("sharing", "stealing", "stealing-latency")
+FLEET_CORES = ("batched", "heap")
 
 _LN2 = math.log(2.0)
 _BLOCK = 256  # OwnerProcess's draw-buffer width; must match for bit parity.
+
+# One int64 orders every event: seq = (host idx << 32) | dispatch epoch.
+# Both cores break exact (time, prio) ties with this same key, so their
+# event orders are identical by construction; pushes check the epoch field
+# against overflow instead of trusting an unbounded counter.
+_SEQ_EPOCH_BITS = 32
+_SEQ_EPOCH_MASK = (1 << _SEQ_EPOCH_BITS) - 1
+_MAX_HOSTS = 1 << 30  # keeps seq inside a signed int64 for the JIT kernels
+_TIMELINE_CHUNK = 4096  # hosts per vectorized owner-timeline batch
 
 #: Default heterogeneity ranges per family: (param range, c range).
 _HETERO_RANGES = {
@@ -176,6 +208,10 @@ class FleetSpec:
             raise SimulationError("a fleet needs at least one host")
         if np.any(self.cs < 0):
             raise SimulationError("overheads c must be nonnegative")
+        if np.any(self.params <= 0) or not np.all(np.isfinite(self.params)):
+            raise SimulationError(
+                "life-function params must be positive and finite"
+            )
         if np.any(self.speeds <= 0) or not np.all(np.isfinite(self.speeds)):
             raise SimulationError("host speeds must be positive and finite")
         if np.any(self.present_means <= 0):
@@ -228,10 +264,26 @@ class FleetSpec:
         ``default_rng([seed, 2])`` so they never interact with the owner
         (``[seed, 0, key]``) or steal (``[seed, 1, key]``) streams.
         """
+        if int(n_hosts) < 1:
+            raise SimulationError(
+                f"a heterogeneous fleet needs at least one host, got {n_hosts}"
+            )
         default_p, default_c = _HETERO_RANGES[family] if family in _HETERO_RANGES \
             else _HETERO_RANGES["uniform"]
         p_lo, p_hi = param_range or default_p
         c_lo, c_hi = c_range or default_c
+        for name, (lo, hi) in (
+            ("param_range", (p_lo, p_hi)),
+            ("c_range", (c_lo, c_hi)),
+            ("speed_range", tuple(speed_range)),
+            ("present_mean_range", tuple(present_mean_range)),
+        ):
+            if not (math.isfinite(lo) and math.isfinite(hi)) \
+                    or lo <= 0 or hi < lo:
+                raise SimulationError(
+                    f"heterogeneous {name} must satisfy 0 < lo <= hi with "
+                    f"finite bounds (log-uniform draws), got ({lo}, {hi})"
+                )
         rng = np.random.default_rng([int(seed), 2])
         logu = lambda lo, hi: np.exp(rng.uniform(math.log(lo), math.log(hi),
                                                  int(n_hosts)))
@@ -348,31 +400,50 @@ class _RangePool:
     ``cum`` is the shared prefix sum (``cum[k]`` = total duration of tasks
     ``0..k-1``), so any range's work is one subtraction.  ``checkout``
     reproduces :meth:`TaskPool.checkout`'s sequential admission test
-    (``used + d <= budget + 1e-12``) range-by-range: a binary search lands
-    near the cut, then an exact fix-up loop applies the literal scalar
-    condition, so dyadic-duration workloads pack bit-identically.
+    (``used + d <= budget + 1e-12``) range-by-range: a binary search (or a
+    mean-duration hint) lands near the cut, then an exact fix-up loop
+    applies the literal scalar condition, so dyadic-duration workloads pack
+    bit-identically.  ``fixup`` optionally routes the clamp + scan loops
+    through the ``fleet_checkout_fixup`` JIT kernel (``engine="jit"``).
     """
 
-    __slots__ = ("ranges", "cum", "count")
+    __slots__ = ("ranges", "cum", "count", "fixup")
 
-    def __init__(self, ranges: Sequence[tuple[int, int]], cum: np.ndarray) -> None:
+    def __init__(
+        self,
+        ranges: Sequence[tuple[int, int]],
+        cum: np.ndarray,
+        fixup=None,
+    ) -> None:
         self.ranges: deque[tuple[int, int]] = deque(ranges)
         self.cum = cum
         self.count = sum(hi - lo for lo, hi in self.ranges)
+        self.fixup = fixup
 
-    def checkout(self, budget: float) -> tuple[list[tuple[int, int]], float, int]:
-        """Take a FIFO prefix fitting ``budget``: (ranges, work, n_tasks)."""
+    def checkout(
+        self, budget: float, inv_mean: float = 0.0
+    ) -> tuple[list[tuple[int, int]], float, int]:
+        """Take a FIFO prefix fitting ``budget``: (ranges, work, n_tasks).
+
+        ``inv_mean > 0`` (tasks per unit duration, usually the workload's
+        global mean) seeds the cut with ``remaining budget × inv_mean``
+        instead of a binary search.  The fix-up loops converge to the same
+        unique cut from *any* starting index, so the result is identical —
+        the batched core passes the hint to drop ``searchsorted`` from its
+        hot path (worst case for wildly mixed durations is a longer linear
+        fix-up walk, never a different answer).
+        """
         limit = budget + 1e-12
         cum = self.cum
-        search = cum.searchsorted
+        item = cum.item
         queue = self.ranges
         used = 0.0
         n_taken = 0
         taken: list[tuple[int, int]] = []
         while queue:
             lo, hi = queue[0]
-            base = cum[lo]
-            whole = cum[hi] - base
+            base = item(lo)
+            whole = item(hi) - base
             if used + whole <= limit:
                 # The whole front range fits.  IEEE addition is monotone, so
                 # every per-task prefix also passes the scalar admission test.
@@ -381,19 +452,25 @@ class _RangePool:
                 n_taken += hi - lo
                 queue.popleft()
                 continue
-            j = int(search(limit - used + base, side="right")) - 1
-            if j < lo:
-                j = lo
-            elif j > hi:
-                j = hi
-            # Exact fix-up: the scalar pool admits task k iff
-            # used + (cum[k+1] - base) <= budget + 1e-12.
-            while j < hi and used + (cum[j + 1] - base) <= limit:
-                j += 1
-            while j > lo and used + (cum[j] - base) > limit:
-                j -= 1
+            if inv_mean > 0.0:
+                j = lo + int((limit - used) * inv_mean)
+            else:
+                j = int(cum.searchsorted(limit - used + base, side="right")) - 1
+            if self.fixup is not None:
+                j = int(self.fixup(cum, base, used, limit, lo, hi, j))
+            else:
+                if j < lo:
+                    j = lo
+                elif j > hi:
+                    j = hi
+                # Exact fix-up: the scalar pool admits task k iff
+                # used + (cum[k+1] - base) <= budget + 1e-12.
+                while j < hi and used + (item(j + 1) - base) <= limit:
+                    j += 1
+                while j > lo and used + (item(j) - base) > limit:
+                    j -= 1
             if j > lo:
-                used += cum[j] - base
+                used += item(j) - base
                 taken.append((lo, j))
                 n_taken += j - lo
                 queue.popleft()
@@ -443,6 +520,7 @@ class _Host:
         "idx", "key", "c", "speed", "present_mean", "life", "rng", "steal_rng",
         "periods", "n_periods", "sched_idx", "pool",
         "pres_buf", "pres_n", "abs_buf", "abs_n",
+        "returns", "ep_cursor",
         "absent", "crashed", "reclaim_at", "episode_started", "epoch",
         "inflight", "pending_rtt",
         "episodes", "committed", "killed", "tasks_done",
@@ -472,6 +550,9 @@ class _Host:
         self.pres_n = 0
         self.abs_buf = None
         self.abs_n = 0
+        # Batched core: precomputed per-leave reclaim times + cursor.
+        self.returns = None
+        self.ep_cursor = 0
         self.absent = False
         self.crashed = False
         self.reclaim_at = math.inf
@@ -552,6 +633,9 @@ class FleetResult:
     completion_time: float
     horizon: float
     events_processed: int
+    #: Which event core produced this result ("batched" or "heap"); the two
+    #: are bit-identical on every other field — the cross-core gate.
+    core: str = "batched"
     fault_log: Optional[FaultLog] = None
     #: Structured event trace (``record_log=True`` only): tuples headed by
     #: "plan" / "dispatch" / "commit" / "kill" / "steal".
@@ -632,6 +716,201 @@ def _partition(n_tasks: int, n_hosts: int) -> list[tuple[int, int]]:
     return [(bounds[i], bounds[i + 1]) for i in range(n_hosts)]
 
 
+def _fleet_kernels():
+    """The compiled ``(checkout_fixup, event_order)`` pair, or ``(None, None)``.
+
+    Resolved lazily so ``engine="numpy"`` runs never import the probe and
+    numba-less installs transparently fall back to the Python/NumPy paths.
+    """
+    from .. import jitkernels
+
+    if not jitkernels.available():
+        return None, None
+    k = jitkernels.kernels()
+    return k.fleet_checkout_fixup, k.fleet_event_order
+
+
+def _absence_inverse(
+    family: str, d: int, lives: list, u: np.ndarray
+) -> np.ndarray:
+    """Vectorized ``LifeFunction.inverse`` across one chunk of hosts.
+
+    ``u`` has shape ``(hosts, draws)``; row ``i`` holds host ``i``'s uniform
+    block.  Applies the family's closed-form inverse transform with per-host
+    parameters broadcast down the rows — the identical elementwise ufunc
+    chain each :meth:`LifeFunction.inverse` performs, so every value is
+    bit-equal to the per-host scalar path (the cross-core suite pins this).
+    """
+    m = u.shape[0]
+    if family in ("uniform", "poly"):
+        L = np.empty((m, 1))
+        for r in range(m):
+            L[r, 0] = lives[r].lifespan
+        return L * (1.0 - u) ** (1.0 / d)
+    if family == "geomdec":
+        ln_a = np.empty((m, 1))
+        for r in range(m):
+            ln_a[r, 0] = lives[r].ln_a
+        with np.errstate(divide="ignore"):
+            return np.where(u > 0, -np.log(np.where(u > 0, u, 1.0)) / ln_a,
+                            np.inf)
+    # geominc: t = L + log2(1 - u * (1 - 2^{-L})), clipped into [0, L].
+    L = np.empty((m, 1))
+    for r in range(m):
+        L[r, 0] = lives[r].lifespan
+    denom = -np.expm1(-L * _LN2)
+    inner = 1.0 - u * denom
+    out = L + np.log(np.maximum(inner, np.finfo(float).tiny)) / _LN2
+    return np.clip(out, 0.0, L)
+
+
+def _plan_owner_timelines(
+    spec: FleetSpec,
+    hosts: list,
+    horizon: float,
+    start_absent: bool,
+    runtime,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bulk-precompute every host's owner leave/return events.
+
+    Extends the ``FaultRuntime.crash_arrays`` planning idea to owner draws.
+    Per chunk of hosts: presence blocks (``rng.exponential``) and absence
+    uniform blocks are drawn per host in the exact lazy refill order
+    ``OwnerProcess`` uses (presence block first unless ``start_absent``,
+    strict alternation, 256 wide, consumed from the end, floored at
+    ``1e-12``), the family inverse transform runs once vectorized across
+    the chunk, and the alternating presence/absence durations collapse to a
+    timeline with one ``np.cumsum`` per chunk — the same left-to-right IEEE
+    additions the scalar event loop performs, so every event time is
+    bit-identical to the heap core's ``time + draw`` chain.
+
+    Life drift is baked in exactly: an absence is scaled iff its *leave*
+    time crossed the drift threshold, and since scaling never moves an
+    already-crossed leave back below the threshold, the crossing computed on
+    the unscaled timeline is the true one.  (The drain loop still calls
+    ``absence_scale`` per leave for its drift-log side effect.)
+
+    Hosts whose drawn timeline does not yet cover ``horizon`` simply draw
+    further block pairs — the extra draws a lazy host would never have made
+    are unobservable (generator state is not an output).
+
+    Returns ``(times, prios, seqs)`` for every owner event with
+    ``time <= horizon`` (unsorted), and fills ``h.returns`` /
+    ``h.ep_cursor`` on each host with the per-leave reclaim lookup.
+    """
+    if runtime is not None:
+        drift_at, drift_scale = runtime.drift_params()
+    else:
+        drift_at, drift_scale = math.inf, 1.0
+    family, d = spec.family, spec.d
+    out_t: list[np.ndarray] = []
+    out_p: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    for c0 in range(0, len(hosts), _TIMELINE_CHUNK):
+        act = hosts[c0:c0 + _TIMELINE_CHUNK]
+        durs = None
+        while act:
+            k = len(act)
+            P = np.empty((k, _BLOCK))
+            U = np.empty((k, _BLOCK))
+            # Exact per-generator call order: the stream that refills first
+            # under lazy consumption is drawn first here.
+            if start_absent:
+                for r in range(k):
+                    h = act[r]
+                    U[r] = h.rng.uniform(0.0, 1.0, _BLOCK)
+                    P[r] = h.rng.exponential(h.present_mean, _BLOCK)
+            else:
+                for r in range(k):
+                    h = act[r]
+                    P[r] = h.rng.exponential(h.present_mean, _BLOCK)
+                    U[r] = h.rng.uniform(0.0, 1.0, _BLOCK)
+            A = _absence_inverse(family, d, [h.life for h in act], U)
+            # Blocks are consumed from the end, each value floored at 1e-12.
+            P = P[:, ::-1]
+            A = A[:, ::-1]
+            P = np.where(P > 1e-12, P, 1e-12)
+            A = np.where(A > 1e-12, A, 1e-12)
+            seg = np.empty((k, 2 * _BLOCK))
+            if start_absent:
+                seg[:, 0::2] = A
+                seg[:, 1::2] = P
+            else:
+                seg[:, 0::2] = P
+                seg[:, 1::2] = A
+            durs = seg if durs is None else np.concatenate([durs, seg], axis=1)
+            if drift_at != math.inf and drift_scale != 1.0:
+                cum0 = np.cumsum(durs, axis=1)
+                if start_absent:
+                    leaves0 = np.concatenate(
+                        [np.zeros((k, 1)), cum0[:, 1::2][:, :-1]], axis=1
+                    )
+                    a_sl = slice(0, None, 2)
+                else:
+                    leaves0 = cum0[:, 0::2]
+                    a_sl = slice(1, None, 2)
+                crossed = leaves0 >= drift_at
+                scaled = durs.copy()
+                a_part = scaled[:, a_sl]
+                scaled[:, a_sl] = np.where(crossed, a_part * drift_scale,
+                                           a_part)
+                cum = np.cumsum(scaled, axis=1)
+            else:
+                cum = np.cumsum(durs, axis=1)
+            # Covered once the last in-matrix leave passes the horizon (its
+            # return, if needed, is then guaranteed to be in-matrix too).
+            last_leave = cum[:, -1] if start_absent else cum[:, -2]
+            covered = last_leave > horizon
+            if not covered.any():
+                continue
+            rows = np.flatnonzero(covered)
+            cum_r = cum[rows]
+            if start_absent:
+                ret_m = cum_r[:, 0::2]
+                leave_m = np.concatenate(
+                    [np.zeros((rows.size, 1)), cum_r[:, 1::2][:, :-1]], axis=1
+                )
+            else:
+                leave_m = cum_r[:, 0::2]
+                ret_m = cum_r[:, 1::2]
+            mask_lv = leave_m <= horizon
+            mask_rt = ret_m <= horizon
+            idxs = np.empty(rows.size, dtype=np.int64)
+            for j, r in enumerate(rows):
+                idxs[j] = act[r].idx
+            base = (idxs << _SEQ_EPOCH_BITS)[:, None]
+            n_lv = mask_lv.sum(axis=1)
+            # One capped-and-contiguous matrix tolist beats 100k per-row
+            # conversions; the cursor only reads the first n_lv entries per
+            # row (one per leave <= horizon), extra columns are inert.
+            ncap = int(n_lv.max())
+            ret_rows = np.ascontiguousarray(ret_m[:, :ncap]).tolist()
+            for j, r in enumerate(rows):
+                h = act[r]
+                h.returns = ret_rows[j]
+                h.ep_cursor = 0
+            out_t.append(leave_m[mask_lv])
+            out_p.append(np.full(int(n_lv.sum()), _OWNER_LEAVES, np.int64))
+            out_s.append(np.broadcast_to(base, leave_m.shape)[mask_lv])
+            n_rt = int(mask_rt.sum())
+            out_t.append(ret_m[mask_rt])
+            out_p.append(np.full(n_rt, _OWNER_RETURNS, np.int64))
+            out_s.append(np.broadcast_to(base, ret_m.shape)[mask_rt])
+            if covered.all():
+                break
+            keep = ~covered
+            act = [act[r] for r in np.flatnonzero(keep)]
+            durs = durs[keep]
+    if out_t:
+        return (
+            np.ascontiguousarray(np.concatenate(out_t)),
+            np.concatenate(out_p),
+            np.concatenate(out_s),
+        )
+    empty = np.zeros(0)
+    return empty, empty.astype(np.int64), empty.astype(np.int64)
+
+
 def run_fleet(
     spec: FleetSpec,
     durations: np.ndarray,
@@ -644,6 +923,8 @@ def run_fleet(
     start_absent: bool = False,
     record_log: bool = False,
     steal_fraction: float = 0.5,
+    core: str = "batched",
+    bucket_width: Optional[float] = None,
 ) -> FleetResult:
     """Advance every host of the fleet through one shared event loop.
 
@@ -653,16 +934,36 @@ def run_fleet(
     :class:`FleetPlan` (planned via :func:`plan_fleet_schedules` otherwise).
     ``steal_fraction`` is the fraction of a victim's pending tasks taken per
     successful steal (rounded up; default half).
+
+    ``core`` selects the event core: ``"batched"`` (default) drains
+    precomputed calendar-queue buckets, ``"heap"`` is the scalar ``heapq``
+    loop kept as the differential oracle — the two are bit-identical (see
+    the module docstring).  ``bucket_width`` overrides the batched core's
+    bucket span in simulation-time units (default: auto-sized so static
+    events average ~8 per bucket); it is a pure performance knob — results
+    are identical for every width.
     """
-    if horizon <= 0:
-        raise SimulationError(f"horizon must be positive, got {horizon}")
+    if not (horizon > 0 and math.isfinite(horizon)):
+        raise SimulationError(
+            f"horizon must be positive and finite, got {horizon}"
+        )
     if policy not in FLEET_POLICIES:
         raise SimulationError(
             f"unknown fleet policy {policy!r}; expected one of {FLEET_POLICIES}"
         )
+    if core not in FLEET_CORES:
+        raise SimulationError(
+            f"unknown fleet core {core!r}; expected one of {FLEET_CORES}"
+        )
     if not 0.0 < steal_fraction <= 1.0:
         raise SimulationError(
             f"steal_fraction must lie in (0, 1], got {steal_fraction}"
+        )
+    if bucket_width is not None and not (
+        bucket_width > 0 and math.isfinite(bucket_width)
+    ):
+        raise SimulationError(
+            f"bucket_width must be positive and finite, got {bucket_width}"
         )
     durations = np.asarray(durations, dtype=float)
     if durations.ndim != 1 or durations.size == 0:
@@ -677,28 +978,51 @@ def run_fleet(
         )
 
     n_hosts = spec.n_hosts
+    if n_hosts >= _MAX_HOSTS:
+        raise SimulationError(
+            f"fleet is capped at {_MAX_HOSTS - 1} hosts (int64 event seq)"
+        )
     n_tasks = int(durations.size)
     cum = np.concatenate(([0.0], np.cumsum(durations)))
     stealing = policy != "sharing"
     latency = policy == "stealing-latency"
 
+    checkout_fixup = event_order = None
+    if engine == "jit":
+        checkout_fixup, event_order = _fleet_kernels()
+
     if stealing:
-        pools = [_RangePool([r] if r[1] > r[0] else [], cum)
+        pools = [_RangePool([r] if r[1] > r[0] else [], cum, checkout_fixup)
                  for r in _partition(n_tasks, n_hosts)]
     else:
-        shared = _RangePool([(0, n_tasks)], cum)
+        shared = _RangePool([(0, n_tasks)], cum, checkout_fixup)
         pools = [shared] * n_hosts
 
     keys = spec.host_keys
-    lives = [host_life(spec, i) for i in range(n_hosts)]
+    # Bulk scalar conversion + life-function interning: at 100k hosts the
+    # per-host float()/tolist()/constructor churn is a visible slice of the
+    # wall clock, and life functions are stateless so equal params share one.
+    keys_l = [int(k) for k in keys.tolist()]
+    cs_l = spec.cs.tolist()
+    speeds_l = spec.speeds.tolist()
+    pm_l = spec.present_means.tolist()
+    periods_l = plan.periods.tolist()
+    nper_l = plan.num_periods.tolist()
+    seed = int(spec.seed)
+    life_cache: dict[float, LifeFunction] = {}
+    lives = []
+    for p in spec.params.tolist():
+        lf = life_cache.get(p)
+        if lf is None:
+            lf = life_cache[p] = _make_life(spec.family, p, spec.d)
+        lives.append(lf)
     hosts = [
         _Host(
-            i, int(keys[i]), float(spec.cs[i]), float(spec.speeds[i]),
-            float(spec.present_means[i]), lives[i],
-            host_rng(spec, i),
-            np.random.default_rng([int(spec.seed), 1, int(keys[i])])
+            i, keys_l[i], cs_l[i], speeds_l[i], pm_l[i], lives[i],
+            np.random.default_rng([seed, 0, keys_l[i]]),
+            np.random.default_rng([seed, 1, keys_l[i]])
             if stealing and n_hosts > 1 else None,
-            plan.periods[i, : int(plan.num_periods[i])].tolist(),
+            periods_l[i][: int(nper_l[i])],
             pools[i],
         )
         for i in range(n_hosts)
@@ -709,193 +1033,505 @@ def run_fleet(
     if faults is not None:
         runtime = faults.start((h.key for h in hosts), horizon)
 
-    counter = itertools.count()
-    heap: list[tuple[float, int, int, int, int]] = []
-
-    def push(time: float, prio: int, idx: int, epoch: int = 0) -> None:
-        heapq.heappush(heap, (time, prio, next(counter), idx, epoch))
-
-    for h in hosts:
-        if start_absent:
-            push(0.0, _OWNER_LEAVES, h.idx)
-        else:
-            push(h.next_present(), _OWNER_LEAVES, h.idx)
-    if runtime is not None:
-        # Bulk-seed the churn timeline: crash_arrays flattens every outage in
-        # the exact (sorted host, chronological) order run_farm pushes in.
-        churn_ws, churn_crash, churn_restart = runtime.crash_arrays()
-        for k in range(churn_ws.size):
-            idx = key_to_idx[int(churn_ws[k])]
-            push(float(churn_crash[k]), _WS_CRASH, idx)
-            push(float(churn_restart[k]), _WS_RESTART, idx)
-
     pending_total = n_tasks
     inflight_count = 0
     completion_time = math.nan
     events = 0
     log: Optional[list] = [] if record_log else None
 
-    def idle_until_reclaim(h: _Host, now: float) -> None:
-        h.idle_absent += max(0.0, min(h.reclaim_at, horizon) - now)
+    if core == "heap":
+        # --------------------------------------------------------------
+        # Heap core: the scalar heapq loop — the differential oracle.
+        # --------------------------------------------------------------
+        heap_q: list[tuple[float, int, int]] = []
 
-    def kill_in_flight(h: _Host) -> None:
-        nonlocal pending_total, inflight_count
-        bundle = h.inflight
-        if bundle is None:
-            return
-        ranges, work, overhead, n_taken = bundle
-        h.pool.restore_front(ranges)
-        pending_total += n_taken
-        h.killed += 1
-        h.work_lost += work
-        h.overhead_paid += overhead
-        h.inflight = None
-        h.epoch += 1
-        inflight_count -= 1
-        if log is not None:
-            log.append(("kill", h.key, ranges))
+        def push(time: float, prio: int, idx: int, epoch: int = 0) -> None:
+            if epoch > _SEQ_EPOCH_MASK:
+                raise SimulationError(
+                    "host dispatch epoch exceeded the 32-bit event-seq field"
+                )
+            heapq.heappush(
+                heap_q, (time, prio, (idx << _SEQ_EPOCH_BITS) | epoch)
+            )
 
-    def dispatch(h: _Host, now: float) -> None:
-        nonlocal pending_total, inflight_count
-        if h.crashed:
-            return
-        pool = h.pool
-        if pool.count == 0:
-            # Steal before consulting the schedule: the schedule cursor must
-            # not advance on an episode the empty pool would have idled, so
-            # an n = 1 fleet consumes exactly run_farm's policy calls.
-            if h.steal_rng is not None:
-                h.steals_attempted += 1
-                victim_pos = int(h.steal_rng.integers(n_hosts - 1))
-                if victim_pos >= h.idx:
-                    victim_pos += 1
-                victim = hosts[victim_pos]
-                if victim.pool.count > 0:
-                    target = math.ceil(victim.pool.count * steal_fraction)
-                    stolen, got = victim.pool.steal_tail(int(target))
-                    pool.extend_back(stolen)
-                    h.steals_succeeded += 1
-                    if latency:
-                        h.pending_rtt = h.c
-                        h.steal_wait += h.c
-                    if log is not None:
-                        log.append(("steal", now, h.key, victim.key, got))
+        for h in hosts:
+            if start_absent:
+                push(0.0, _OWNER_LEAVES, h.idx)
+            else:
+                push(h.next_present(), _OWNER_LEAVES, h.idx)
+        if runtime is not None:
+            # Bulk-seed the churn timeline: crash_arrays flattens every
+            # outage in the exact (sorted host, chronological) order
+            # run_farm pushes in.
+            churn_ws, churn_crash, churn_restart = runtime.crash_arrays()
+            for k in range(churn_ws.size):
+                idx = key_to_idx[int(churn_ws[k])]
+                push(float(churn_crash[k]), _WS_CRASH, idx)
+                push(float(churn_restart[k]), _WS_RESTART, idx)
+
+        def idle_until_reclaim(h: _Host, now: float) -> None:
+            h.idle_absent += max(0.0, min(h.reclaim_at, horizon) - now)
+
+        def kill_in_flight(h: _Host) -> None:
+            nonlocal pending_total, inflight_count
+            bundle = h.inflight
+            if bundle is None:
+                return
+            ranges, work, overhead, n_taken = bundle
+            h.pool.restore_front(ranges)
+            pending_total += n_taken
+            h.killed += 1
+            h.work_lost += work
+            h.overhead_paid += overhead
+            h.inflight = None
+            h.epoch += 1
+            inflight_count -= 1
+            if log is not None:
+                log.append(("kill", h.key, ranges))
+
+        def dispatch(h: _Host, now: float) -> None:
+            nonlocal pending_total, inflight_count
+            if h.crashed:
+                return
+            pool = h.pool
+            if pool.count == 0:
+                # Steal before consulting the schedule: the schedule cursor
+                # must not advance on an episode the empty pool would have
+                # idled, so an n = 1 fleet consumes exactly run_farm's
+                # policy calls.
+                if h.steal_rng is not None:
+                    h.steals_attempted += 1
+                    victim_pos = int(h.steal_rng.integers(n_hosts - 1))
+                    if victim_pos >= h.idx:
+                        victim_pos += 1
+                    victim = hosts[victim_pos]
+                    if victim.pool.count > 0:
+                        target = math.ceil(victim.pool.count * steal_fraction)
+                        stolen, got = victim.pool.steal_tail(int(target))
+                        pool.extend_back(stolen)
+                        h.steals_succeeded += 1
+                        if latency:
+                            h.pending_rtt = h.c
+                            h.steal_wait += h.c
+                        if log is not None:
+                            log.append(("steal", now, h.key, victim.key, got))
+                    else:
+                        idle_until_reclaim(h, now)
+                        return
                 else:
                     idle_until_reclaim(h, now)
                     return
-            else:
+            sched_idx = h.sched_idx
+            if sched_idx >= h.n_periods:
+                if log is not None:
+                    log.append(("plan", h.key, now - h.episode_started, None))
                 idle_until_reclaim(h, now)
                 return
-        sched_idx = h.sched_idx
-        if sched_idx >= h.n_periods:
+            planned = h.periods[sched_idx]
+            h.sched_idx = sched_idx + 1
             if log is not None:
-                log.append(("plan", h.key, now - h.episode_started, None))
-            idle_until_reclaim(h, now)
-            return
-        planned = h.periods[sched_idx]
-        h.sched_idx = sched_idx + 1
-        if log is not None:
-            log.append(("plan", h.key, now - h.episode_started, planned))
-        if planned <= h.c:
-            idle_until_reclaim(h, now)
-            return
-        budget = (planned - h.c) * h.speed
-        # run_farm routes the budget through pack_period's planned-length
-        # arithmetic; replay it literally so the floats agree to the bit.
-        taken, work, n_taken = pool.checkout((h.c + budget) - h.c)
-        if not taken:
-            idle_until_reclaim(h, now)
-            return
-        c_eff = h.c
-        extra_delay = 0.0
-        if runtime is not None:
-            fate = runtime.dispatch_fate(h.key, now, h.c)
-            if fate.lost:
-                pool.restore_front(taken)
-                h.lost += 1
+                log.append(("plan", h.key, now - h.episode_started, planned))
+            if planned <= h.c:
                 idle_until_reclaim(h, now)
                 return
-            c_eff = fate.c_effective
-            extra_delay = fate.delay
-            if extra_delay > 0.0:
-                h.delayed += 1
-                h.delay_time += extra_delay
-        pending_total -= n_taken
-        rtt = h.pending_rtt
-        h.pending_rtt = 0.0
-        wall = c_eff + extra_delay + rtt + work / h.speed
-        h.inflight = (taken, work, c_eff, n_taken)
-        h.epoch += 1
-        inflight_count += 1
-        push(now + wall, _PERIOD_ENDS, h.idx, h.epoch)
-        if log is not None:
-            log.append(("dispatch", now, h.key, work, c_eff, n_taken))
-
-    while heap:
-        time, prio, _seq, idx, epoch = heapq.heappop(heap)
-        if time > horizon:
-            break
-        events += 1
-        h = hosts[idx]
-
-        if prio == _WS_CRASH:
-            kill_in_flight(h)
-            h.crashed = True
-            h.crashes += 1
-            assert runtime is not None
-            runtime.log.record(time, "crash", h.key)
-
-        elif prio == _WS_RESTART:
-            h.crashed = False
-            assert runtime is not None
-            runtime.log.record(time, "restart", h.key)
-            if h.absent and time < h.reclaim_at and h.inflight is None:
-                dispatch(h, time)
-
-        elif prio == _OWNER_LEAVES:
-            absence = h.next_absent()
+            budget = (planned - h.c) * h.speed
+            # run_farm routes the budget through pack_period's planned-length
+            # arithmetic; replay it literally so the floats agree to the bit.
+            taken, work, n_taken = pool.checkout((h.c + budget) - h.c)
+            if not taken:
+                idle_until_reclaim(h, now)
+                return
+            c_eff = h.c
+            extra_delay = 0.0
             if runtime is not None:
-                absence *= runtime.absence_scale(h.key, time)
-            h.absent = True
-            h.reclaim_at = time + absence
-            h.episode_started = time
-            h.sched_idx = 0
+                fate = runtime.dispatch_fate(h.key, now, h.c)
+                if fate.lost:
+                    pool.restore_front(taken)
+                    h.lost += 1
+                    idle_until_reclaim(h, now)
+                    return
+                c_eff = fate.c_effective
+                extra_delay = fate.delay
+                if extra_delay > 0.0:
+                    h.delayed += 1
+                    h.delay_time += extra_delay
+            pending_total -= n_taken
+            rtt = h.pending_rtt
             h.pending_rtt = 0.0
-            h.episodes += 1
-            push(h.reclaim_at, _OWNER_RETURNS, idx)
-            dispatch(h, time)
-
-        elif prio == _OWNER_RETURNS:
-            kill_in_flight(h)
-            h.absent = False
-            h.reclaim_at = math.inf
-            push(time + h.next_present(), _OWNER_LEAVES, idx)
-
-        else:  # _PERIOD_ENDS
-            if epoch != h.epoch or h.inflight is None:
-                continue
-            ranges, work, overhead, n_taken = h.inflight
-            h.inflight = None
-            inflight_count -= 1
-            if runtime is not None and runtime.commit_corrupted(h.key, time):
-                h.pool.restore_front(ranges)
-                pending_total += n_taken
-                h.corrupted += 1
-                h.work_lost += work
-                h.overhead_paid += overhead
-                dispatch(h, time)
-                continue
-            h.committed += 1
-            h.tasks_done += n_taken
-            h.work_done += work
-            h.overhead_paid += overhead
+            wall = c_eff + extra_delay + rtt + work / h.speed
+            h.inflight = (taken, work, c_eff, n_taken)
+            h.epoch += 1
+            inflight_count += 1
+            push(now + wall, _PERIOD_ENDS, h.idx, h.epoch)
             if log is not None:
-                log.append(("commit", time, h.key, ranges))
-            if pending_total == 0 and math.isnan(completion_time):
-                if inflight_count == 0:
-                    completion_time = time
-                    break
-            dispatch(h, time)
+                log.append(("dispatch", now, h.key, work, c_eff, n_taken))
+
+        while heap_q:
+            time, prio, seq = heapq.heappop(heap_q)
+            if time > horizon:
+                break
+            events += 1
+            idx = seq >> _SEQ_EPOCH_BITS
+            h = hosts[idx]
+
+            if prio == _WS_CRASH:
+                kill_in_flight(h)
+                h.crashed = True
+                h.crashes += 1
+                assert runtime is not None
+                runtime.log.record(time, "crash", h.key)
+
+            elif prio == _WS_RESTART:
+                h.crashed = False
+                assert runtime is not None
+                runtime.log.record(time, "restart", h.key)
+                if h.absent and time < h.reclaim_at and h.inflight is None:
+                    dispatch(h, time)
+
+            elif prio == _OWNER_LEAVES:
+                absence = h.next_absent()
+                if runtime is not None:
+                    absence *= runtime.absence_scale(h.key, time)
+                h.absent = True
+                h.reclaim_at = time + absence
+                h.episode_started = time
+                h.sched_idx = 0
+                h.pending_rtt = 0.0
+                h.episodes += 1
+                push(h.reclaim_at, _OWNER_RETURNS, idx)
+                dispatch(h, time)
+
+            elif prio == _OWNER_RETURNS:
+                kill_in_flight(h)
+                h.absent = False
+                h.reclaim_at = math.inf
+                push(time + h.next_present(), _OWNER_LEAVES, idx)
+
+            else:  # _PERIOD_ENDS
+                if (seq & _SEQ_EPOCH_MASK) != h.epoch or h.inflight is None:
+                    continue
+                ranges, work, overhead, n_taken = h.inflight
+                h.inflight = None
+                inflight_count -= 1
+                if runtime is not None and runtime.commit_corrupted(h.key, time):
+                    h.pool.restore_front(ranges)
+                    pending_total += n_taken
+                    h.corrupted += 1
+                    h.work_lost += work
+                    h.overhead_paid += overhead
+                    dispatch(h, time)
+                    continue
+                h.committed += 1
+                h.tasks_done += n_taken
+                h.work_done += work
+                h.overhead_paid += overhead
+                if log is not None:
+                    log.append(("commit", time, h.key, ranges))
+                if pending_total == 0 and math.isnan(completion_time):
+                    if inflight_count == 0:
+                        completion_time = time
+                        break
+                dispatch(h, time)
+
+    else:
+        # --------------------------------------------------------------
+        # Batched core: precomputed static events drained through a
+        # calendar queue of fixed-width time buckets.  Every handler is
+        # inlined — no closure calls, no heap — but processes events in
+        # exactly the heap core's (time, prio, seq) order, so the two
+        # cores are bit-identical (the cross-core differential gate).
+        # --------------------------------------------------------------
+        st_t, st_p, st_s = _plan_owner_timelines(
+            spec, hosts, horizon, start_absent, runtime
+        )
+        if runtime is not None:
+            churn_ws, churn_crash, churn_restart = runtime.crash_arrays()
+            if churn_ws.size:
+                cidx = np.array(
+                    [key_to_idx[int(w)] for w in churn_ws], dtype=np.int64
+                )
+                alive = churn_restart <= horizon
+                st_t = np.concatenate(
+                    [st_t, churn_crash, churn_restart[alive]]
+                )
+                st_p = np.concatenate([
+                    st_p,
+                    np.full(cidx.size, _WS_CRASH, np.int64),
+                    np.full(int(alive.sum()), _WS_RESTART, np.int64),
+                ])
+                st_s = np.concatenate([
+                    st_s,
+                    cidx << _SEQ_EPOCH_BITS,
+                    cidx[alive] << _SEQ_EPOCH_BITS,
+                ])
+        if event_order is not None:
+            order = event_order(st_t, st_p, st_s)
+        else:
+            order = np.lexsort((st_s, st_p, st_t))
+        st_t = st_t[order]
+        st_p = st_p[order]
+        st_s = st_s[order]
+
+        n_static = int(st_t.size)
+        if bucket_width is None:
+            nb = min(max(n_static // 8, 1), 1 << 16)
+        else:
+            nb = min(max(int(math.ceil(horizon / bucket_width)), 1), 1 << 20)
+        inv_w = nb / horizon
+        if n_static:
+            st_b = np.minimum((st_t * inv_w).astype(np.int64), nb - 1)
+            bounds = np.searchsorted(st_b, np.arange(nb + 1)).tolist()
+        else:
+            bounds = [0] * (nb + 1)
+        dyn: list[list] = [[] for _ in range(nb)]
+
+        inv_mean = n_tasks / float(cum[-1])
+        # Exact empty-checkout guard: checkout admits its first task iff some
+        # adjacent prefix-sum gap fits the limit, so a budget below the
+        # smallest gap can never take work — skip the call, same result.
+        min_gap = float(np.min(np.diff(cum)))
+        inf = math.inf
+        MASK = _SEQ_EPOCH_MASK
+        stop = False
+        for cur in range(nb):
+            lo_b = bounds[cur]
+            hi_b = bounds[cur + 1]
+            evs = dyn[cur]
+            if hi_b > lo_b:
+                # Materialize this bucket's static cohort only now — keeping
+                # the whole schedule as live tuples would tax every GC pass.
+                merged = list(zip(
+                    st_t[lo_b:hi_b].tolist(),
+                    st_p[lo_b:hi_b].tolist(),
+                    st_s[lo_b:hi_b].tolist(),
+                ))
+                if evs:
+                    merged.extend(evs)
+                    merged.sort()
+                evs = merged
+            elif evs:
+                evs.sort()
+            else:
+                continue
+            pos = 0
+            n_evs = len(evs)
+            while pos < n_evs:
+                time, prio, seq = evs[pos]
+                pos += 1
+                idx = seq >> 32
+                h = hosts[idx]
+
+                if prio == 2:  # _PERIOD_ENDS (hot path)
+                    bundle = h.inflight
+                    if (seq & MASK) != h.epoch or bundle is None:
+                        continue  # stale epoch: superseded by a kill
+                    work = bundle[1]
+                    n_taken = bundle[3]
+                    h.inflight = None
+                    inflight_count -= 1
+                    if runtime is not None and runtime.commit_corrupted(
+                        h.key, time
+                    ):
+                        h.pool.restore_front(bundle[0])
+                        pending_total += n_taken
+                        h.corrupted += 1
+                        h.work_lost += work
+                        h.overhead_paid += bundle[2]
+                    else:
+                        h.committed += 1
+                        h.tasks_done += n_taken
+                        h.work_done += work
+                        h.overhead_paid += bundle[2]
+                        if log is not None:
+                            log.append(("commit", time, h.key, bundle[0]))
+                        if pending_total == 0 \
+                                and completion_time != completion_time:
+                            if inflight_count == 0:
+                                completion_time = time
+                                stop = True
+                                break
+                elif prio == 1:  # _OWNER_LEAVES
+                    if runtime is not None:
+                        # Drift scaling is baked into h.returns; the call
+                        # remains for its drift-log side effect.
+                        runtime.absence_scale(h.key, time)
+                    k = h.ep_cursor
+                    h.ep_cursor = k + 1
+                    h.absent = True
+                    h.reclaim_at = h.returns[k]
+                    h.episode_started = time
+                    h.sched_idx = 0
+                    h.pending_rtt = 0.0
+                    h.episodes += 1
+                elif prio == 0:  # _OWNER_RETURNS
+                    bundle = h.inflight
+                    if bundle is not None:
+                        h.pool.restore_front(bundle[0])
+                        pending_total += bundle[3]
+                        h.killed += 1
+                        h.work_lost += bundle[1]
+                        h.overhead_paid += bundle[2]
+                        h.inflight = None
+                        h.epoch += 1
+                        inflight_count -= 1
+                        if log is not None:
+                            log.append(("kill", h.key, bundle[0]))
+                    h.absent = False
+                    h.reclaim_at = inf
+                    continue
+                elif prio == -1:  # _WS_CRASH
+                    bundle = h.inflight
+                    if bundle is not None:
+                        h.pool.restore_front(bundle[0])
+                        pending_total += bundle[3]
+                        h.killed += 1
+                        h.work_lost += bundle[1]
+                        h.overhead_paid += bundle[2]
+                        h.inflight = None
+                        h.epoch += 1
+                        inflight_count -= 1
+                        if log is not None:
+                            log.append(("kill", h.key, bundle[0]))
+                    h.crashed = True
+                    h.crashes += 1
+                    runtime.log.record(time, "crash", h.key)
+                    continue
+                else:  # _WS_RESTART
+                    h.crashed = False
+                    runtime.log.record(time, "restart", h.key)
+                    if not (h.absent and time < h.reclaim_at
+                            and h.inflight is None):
+                        continue
+
+                # ---- dispatch, inlined (falls through from period-end
+                # commit/corruption, owner leave, and eligible restart) ----
+                if h.crashed:
+                    continue
+                pool = h.pool
+                if pool.count == 0:
+                    srng = h.steal_rng
+                    if srng is None:
+                        ra = h.reclaim_at
+                        if ra > horizon:
+                            ra = horizon
+                        if ra > time:
+                            h.idle_absent += ra - time
+                        continue
+                    h.steals_attempted += 1
+                    victim_pos = int(srng.integers(n_hosts - 1))
+                    if victim_pos >= idx:
+                        victim_pos += 1
+                    victim = hosts[victim_pos]
+                    vpool = victim.pool
+                    if vpool.count > 0:
+                        stolen, got = vpool.steal_tail(
+                            int(math.ceil(vpool.count * steal_fraction))
+                        )
+                        pool.extend_back(stolen)
+                        h.steals_succeeded += 1
+                        if latency:
+                            h.pending_rtt = h.c
+                            h.steal_wait += h.c
+                        if log is not None:
+                            log.append(("steal", time, h.key, victim.key, got))
+                    else:
+                        ra = h.reclaim_at
+                        if ra > horizon:
+                            ra = horizon
+                        if ra > time:
+                            h.idle_absent += ra - time
+                        continue
+                sched_idx = h.sched_idx
+                if sched_idx >= h.n_periods:
+                    if log is not None:
+                        log.append(("plan", h.key, time - h.episode_started,
+                                    None))
+                    ra = h.reclaim_at
+                    if ra > horizon:
+                        ra = horizon
+                    if ra > time:
+                        h.idle_absent += ra - time
+                    continue
+                planned = h.periods[sched_idx]
+                h.sched_idx = sched_idx + 1
+                if log is not None:
+                    log.append(("plan", h.key, time - h.episode_started,
+                                planned))
+                c = h.c
+                if planned <= c:
+                    ra = h.reclaim_at
+                    if ra > horizon:
+                        ra = horizon
+                    if ra > time:
+                        h.idle_absent += ra - time
+                    continue
+                speed = h.speed
+                budget = (planned - c) * speed
+                budget = (c + budget) - c
+                if budget + 1e-12 < min_gap:
+                    ra = h.reclaim_at
+                    if ra > horizon:
+                        ra = horizon
+                    if ra > time:
+                        h.idle_absent += ra - time
+                    continue
+                taken, work, n_taken = pool.checkout(budget, inv_mean)
+                if not taken:
+                    ra = h.reclaim_at
+                    if ra > horizon:
+                        ra = horizon
+                    if ra > time:
+                        h.idle_absent += ra - time
+                    continue
+                c_eff = c
+                extra_delay = 0.0
+                if runtime is not None:
+                    fate = runtime.dispatch_fate(h.key, time, c)
+                    if fate.lost:
+                        pool.restore_front(taken)
+                        h.lost += 1
+                        ra = h.reclaim_at
+                        if ra > horizon:
+                            ra = horizon
+                        if ra > time:
+                            h.idle_absent += ra - time
+                        continue
+                    c_eff = fate.c_effective
+                    extra_delay = fate.delay
+                    if extra_delay > 0.0:
+                        h.delayed += 1
+                        h.delay_time += extra_delay
+                pending_total -= n_taken
+                rtt = h.pending_rtt
+                h.pending_rtt = 0.0
+                wall = c_eff + extra_delay + rtt + work / speed
+                h.inflight = (taken, work, c_eff, n_taken)
+                epoch = h.epoch + 1
+                h.epoch = epoch
+                inflight_count += 1
+                t_end = time + wall
+                if t_end <= horizon:
+                    if epoch > MASK:
+                        raise SimulationError(
+                            "host dispatch epoch exceeded the 32-bit "
+                            "event-seq field"
+                        )
+                    b = int(t_end * inv_w)
+                    if b > cur:
+                        if b >= nb:
+                            b = nb - 1
+                        dyn[b].append((t_end, 2, (idx << 32) | epoch))
+                    else:
+                        # Same bucket: keep exact order via a sorted insert
+                        # past the current position (t_end > time).
+                        insort(evs, (t_end, 2, (idx << 32) | epoch), pos)
+                        n_evs += 1
+                if log is not None:
+                    log.append(("dispatch", time, h.key, work, c_eff,
+                                n_taken))
+            events += pos
+            if stop:
+                break
 
     # Teardown: in-flight bundles at the cut return without stats.
     for h in hosts:
@@ -932,6 +1568,7 @@ def run_fleet(
         completion_time=completion_time,
         horizon=horizon,
         events_processed=events,
+        core=core,
         fault_log=None if runtime is None else runtime.log,
         dispatch_log=log,
     )

@@ -197,6 +197,25 @@ def test_mc_engine_fallback(fresh_probe):
     assert a.mean == b.mean and a.stderr == b.stderr
 
 
+def test_fleet_fallback_is_bit_identical(fresh_probe):
+    """``run_fleet(engine="jit")`` without numba degrades to the inline
+    checkout fix-up and ``np.lexsort`` — bit-identically, on both cores."""
+    from repro.now.fleet import FleetSpec, _fleet_kernels, run_fleet
+
+    _force_unavailable(fresh_probe)
+    assert _fleet_kernels() == (None, None)
+    spec = FleetSpec.heterogeneous(8, seed=5)
+    durations = np.full(256, 0.25)
+    for core in ("batched", "heap"):
+        a = run_fleet(spec, durations, 200.0, policy="stealing", core=core)
+        b = run_fleet(spec, durations, 200.0, policy="stealing", core=core,
+                      engine="jit")
+        assert a.events_processed == b.events_processed
+        assert a.completion_time == b.completion_time
+        np.testing.assert_array_equal(a.work_done, b.work_done)
+        np.testing.assert_array_equal(a.steals_succeeded, b.steals_succeeded)
+
+
 def test_unknown_engine_rejected():
     p = repro.UniformRisk(100.0)
     with pytest.raises(InvalidScheduleError):
@@ -347,6 +366,55 @@ def test_scoring_kernel_matches_scalar_order():
             1, cs, pv,
         )
         np.testing.assert_array_equal(res.expected_work, rescored)
+
+
+@needs_numba
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_fleet_checkout_fixup_matches_python(data):
+    """The compiled cut fix-up converges to the same index as the inline
+    loops in ``_RangePool.checkout`` from any starting seed."""
+    kern = jitkernels.kernels()
+    n = data.draw(st.integers(1, 40), label="tasks")
+    durs = np.array([data.draw(st.sampled_from([0.0625, 0.25, 1.0, 1e-6]))
+                     for _ in range(n)])
+    cum = np.concatenate(([0.0], np.cumsum(durs)))
+    lo = data.draw(st.integers(0, n - 1), label="lo")
+    hi = data.draw(st.integers(lo, n), label="hi")
+    base = float(cum[lo])
+    used = data.draw(st.floats(0.0, 4.0), label="used")
+    limit = used + data.draw(st.floats(0.0, 8.0), label="budget") + 1e-12
+    j_seed = data.draw(st.integers(-2, n + 2), label="seed")
+
+    j = j_seed
+    if j < lo:
+        j = lo
+    elif j > hi:
+        j = hi
+    while j < hi and used + (float(cum[j + 1]) - base) <= limit:
+        j += 1
+    while j > lo and used + (float(cum[j]) - base) > limit:
+        j -= 1
+    assert int(kern.fleet_checkout_fixup(cum, base, used, limit,
+                                         lo, hi, j_seed)) == j
+
+
+@needs_numba
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_fleet_event_order_matches_lexsort(data):
+    kern = jitkernels.kernels()
+    n = data.draw(st.integers(1, 200), label="events")
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    # Duplicate times/prios on purpose; seqs are unique, so the
+    # (time, prio, seq) key is total and the order must be exact.
+    times = rng.choice(np.linspace(0.0, 10.0, 17), n)
+    prios = rng.integers(-1, 4, n).astype(np.int64)
+    seqs = rng.permutation(n).astype(np.int64)
+    np.testing.assert_array_equal(
+        kern.fleet_event_order(times, prios, seqs),
+        np.lexsort((seqs, prios, times)),
+    )
 
 
 @needs_numba

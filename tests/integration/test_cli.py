@@ -299,8 +299,33 @@ class TestFleetCommand:
         status = main(["fleet", "--quick"])
         assert status == 0
         text = capsys.readouterr().out
-        assert "n=1 parity    : ok" in text
+        assert "n=1 parity [batched]: ok" in text
+        assert "n=1 parity [   heap]: ok" in text
+        assert "cross-core parity  : ok" in text
         assert "sharing" in text and "stealing-latency" in text
+
+    def test_core_flag_selects_heap(self, capsys):
+        status = main(["fleet", "--hosts", "8", "--core", "heap",
+                       "--work-per-host", "4", "--task-duration", "0.25",
+                       "--policy", "sharing"])
+        assert status == 0
+        assert "heap core" in capsys.readouterr().out
+
+    def test_bucket_width_flag(self, capsys):
+        status = main(["fleet", "--hosts", "8", "--bucket-width", "2.5",
+                       "--work-per-host", "4", "--task-duration", "0.25",
+                       "--policy", "sharing"])
+        assert status == 0
+        assert "batched core" in capsys.readouterr().out
+
+    def test_profile_prints_hotspots(self, capsys):
+        status = main(["fleet", "--hosts", "8", "--profile",
+                       "--profile-top", "5", "--work-per-host", "4",
+                       "--task-duration", "0.25", "--policy", "sharing"])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "cumulative" in text
+        assert "run_fleet" in text
 
     def test_single_policy_with_artifact(self, tmp_path, capsys):
         out = tmp_path / "fleet.json"

@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.fleetbench import (
+    cross_core_check,
     fleet_workload,
     parity_check,
     run_policy_comparison,
@@ -16,6 +17,7 @@ from repro.analysis.fleetbench import (
 from repro.exceptions import SimulationError
 from repro.faults import CrashFault, FaultPlan, MessageLossFault
 from repro.now.fleet import (
+    FLEET_CORES,
     FLEET_POLICIES,
     FleetSpec,
     host_network,
@@ -44,6 +46,52 @@ class TestParity:
                               policies=("sharing",), n_tasks=512,
                               horizon=600.0)
         assert report["ok"], report["mismatches"]
+
+
+class TestCrossCore:
+    """The batched calendar-queue core must be bit-identical to the heap
+    oracle — all policies, clean and under every fault class."""
+
+    def test_all_policies_all_fault_classes(self):
+        report = cross_core_check(seed=5)
+        assert report["ok"], report["mismatches"]
+
+    def test_start_absent(self):
+        report = cross_core_check(seed=9, start_absent=True)
+        assert report["ok"], report["mismatches"]
+
+    @pytest.mark.parametrize("family", ["poly", "geomdec", "geominc"])
+    def test_other_families(self, family):
+        report = cross_core_check(seed=11, family=family,
+                                  policies=("sharing", "stealing"))
+        assert report["ok"], report["mismatches"]
+
+    def test_heap_n1_matches_run_farm(self):
+        report = parity_check(seed=13, core="heap", n_tasks=512,
+                              horizon=600.0)
+        assert report["ok"], report["mismatches"]
+
+    def test_bucket_width_is_pure_performance_knob(self):
+        """Any bucket width gives the same results — width only moves work
+        between the bucket partition and the in-bucket sort."""
+        spec = FleetSpec.heterogeneous(12, seed=4)
+        durations = fleet_workload(12, 8.0, 0.25)
+        ref = run_fleet(spec, durations, 200.0, policy="stealing",
+                        core="heap")
+        for width in (0.37, 5.0, 10_000.0):
+            got = run_fleet(spec, durations, 200.0, policy="stealing",
+                            core="batched", bucket_width=width)
+            assert got.events_processed == ref.events_processed
+            assert got.completion_time == ref.completion_time
+            assert np.array_equal(got.work_done, ref.work_done)
+            assert np.array_equal(got.steals_succeeded, ref.steals_succeeded)
+
+    def test_result_records_core(self):
+        spec = FleetSpec.homogeneous(2, seed=1)
+        durations = np.full(8, 0.25)
+        for core in FLEET_CORES:
+            result = run_fleet(spec, durations, 50.0, core=core)
+            assert result.core == core
 
 
 class TestFleetSpec:
@@ -183,15 +231,46 @@ class TestValidation:
         with pytest.raises(SimulationError):
             run_fleet(spec, np.ones(4), 10.0, policy="gossip")
 
-    def test_bad_horizon(self):
+    @pytest.mark.parametrize("horizon", [0.0, -5.0, math.inf, math.nan])
+    def test_bad_horizon(self, horizon):
         spec = FleetSpec.homogeneous(2)
-        with pytest.raises(SimulationError):
-            run_fleet(spec, np.ones(4), 0.0)
+        with pytest.raises(SimulationError,
+                           match="horizon must be positive and finite"):
+            run_fleet(spec, np.ones(4), horizon)
 
-    def test_bad_steal_fraction(self):
+    @pytest.mark.parametrize("fraction", [0.0, -0.25, 1.5, math.nan])
+    def test_bad_steal_fraction(self, fraction):
         spec = FleetSpec.homogeneous(2)
-        with pytest.raises(SimulationError):
-            run_fleet(spec, np.ones(4), 10.0, steal_fraction=0.0)
+        with pytest.raises(SimulationError,
+                           match=r"steal_fraction must lie in \(0, 1\]"):
+            run_fleet(spec, np.ones(4), 10.0, steal_fraction=fraction)
+
+    def test_bad_core(self):
+        spec = FleetSpec.homogeneous(2)
+        with pytest.raises(SimulationError, match="unknown fleet core"):
+            run_fleet(spec, np.ones(4), 10.0, core="quantum")
+
+    @pytest.mark.parametrize("width", [0.0, -1.0, math.inf])
+    def test_bad_bucket_width(self, width):
+        spec = FleetSpec.homogeneous(2)
+        with pytest.raises(SimulationError,
+                           match="bucket_width must be positive and finite"):
+            run_fleet(spec, np.ones(4), 10.0, bucket_width=width)
+
+    def test_heterogeneous_rejects_empty_fleet(self):
+        with pytest.raises(SimulationError, match="at least one host"):
+            FleetSpec.heterogeneous(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"c_range": (0.0, 1.0)},
+        {"c_range": (2.0, 1.0)},
+        {"param_range": (-3.0, 5.0)},
+        {"speed_range": (0.5, math.inf)},
+        {"present_mean_range": (math.nan, 4.0)},
+    ])
+    def test_heterogeneous_rejects_bad_ranges(self, kwargs):
+        with pytest.raises(SimulationError, match="0 < lo <= hi"):
+            FleetSpec.heterogeneous(4, **kwargs)
 
     def test_empty_durations(self):
         spec = FleetSpec.homogeneous(2)

@@ -1,9 +1,11 @@
 """Randomized properties of the fleet engine (hypothesis).
 
-Four laws the ISSUE pins down:
+Five laws the ISSUE pins down:
 
 * an n = 1 fleet is bit-identical to ``run_farm`` whatever the drawn
   configuration (the differential anchor for everything else);
+* the batched calendar-queue core is bit-identical to the heap oracle on
+  any drawn configuration, fault plan, and bucket width;
 * a fleet is a pure function of ``(seed, spec, policy)`` — rebuilding and
   rerunning reproduces every statistic, and relabeling host keys while
   permuting the per-host vectors permutes the per-host results;
@@ -136,6 +138,43 @@ def test_goodput_degrades_under_churn(seed):
     # Monotone within stochastic slack: heavier churn never *helps* much.
     assert goodputs[1] <= goodputs[0] * 1.05
     assert goodputs[2] <= goodputs[0] * 1.05
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(config=fleet_configs(),
+       bucket_width=st.one_of(st.none(), st.floats(0.05, 500.0)),
+       with_faults=st.booleans())
+def test_cross_core_bit_parity(config, bucket_width, with_faults):
+    """The batched calendar-queue core equals the heap oracle bit-for-bit
+    on any drawn configuration, fault plan, and bucket width."""
+    n_hosts, seed, policy, hetero, work = config
+    spec = _spec(n_hosts, seed, hetero)
+    durations = fleet_workload(n_hosts, work, 0.25)
+    faults = None
+    if with_faults:
+        faults = FaultPlan(seed=seed + 3, injectors=(
+            CrashFault(mtbf=50.0, restart_time=3.0),
+        ))
+    runs = {}
+    for core in ("heap", "batched"):
+        runs[core] = run_fleet(
+            spec, durations, 300.0, policy=policy, faults=faults,
+            record_log=True, core=core,
+            bucket_width=bucket_width if core == "batched" else None,
+        )
+    a, b = runs["heap"], runs["batched"]
+    assert a.events_processed == b.events_processed
+    assert a.completion_time == b.completion_time or (
+        np.isnan(a.completion_time) and np.isnan(b.completion_time)
+    )
+    assert a.dispatch_log == b.dispatch_log
+    assert np.array_equal(a.work_done, b.work_done)
+    assert np.array_equal(a.idle_absent_time, b.idle_absent_time)
+    assert np.array_equal(a.episodes, b.episodes)
+    assert np.array_equal(a.steals_succeeded, b.steals_succeeded)
+    if with_faults:
+        assert a.fault_log.digest() == b.fault_log.digest()
 
 
 @settings(max_examples=15, deadline=None,
